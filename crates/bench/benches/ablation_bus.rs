@@ -1,0 +1,42 @@
+//! Ablation A2 as a bench: the degradation model and B_prom allocator
+//! across EIB capacities (also guards the allocator's performance,
+//! which runs on every health change in the simulator).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_core::analysis::degradation::{b_faulty_fraction, DegradationParams};
+use dra_core::eib::bandwidth::promised_bandwidth;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_bus");
+
+    for &bus_gbps in &[5.0f64, 40.0, 80.0] {
+        g.bench_with_input(
+            BenchmarkId::new("degradation_sweep", format!("{bus_gbps:.0}G")),
+            &bus_gbps,
+            |b, &bus| {
+                b.iter(|| {
+                    let mut acc = 0.0;
+                    for &load in &[0.15, 0.3, 0.5, 0.7] {
+                        let p = DegradationParams {
+                            bus_capacity_bps: bus * 1e9,
+                            ..DegradationParams::paper(load)
+                        };
+                        for x in 1..6 {
+                            acc += b_faulty_fraction(&p, x);
+                        }
+                    }
+                    acc
+                })
+            },
+        );
+    }
+
+    g.bench_function("allocator_64_flows_oversubscribed", |b| {
+        let requests: Vec<f64> = (1..=64).map(|i| i as f64 * 1e9).collect();
+        b.iter(|| promised_bandwidth(&requests, 40e9))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Ablation A1 as a bench: solve cost and result spread across the
+//! paper's ambiguous Markov semantics (T′ reading × zone bound).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_core::analysis::reliability::{
+    dra_model, reliability_curve, DraParams, TprimeSemantics, ZoneInterBound,
+};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_zones");
+    g.sample_size(10);
+
+    for tprime in [TprimeSemantics::Literal, TprimeSemantics::Strict] {
+        for bound in [
+            ZoneInterBound::Extended,
+            ZoneInterBound::Saturate,
+            ZoneInterBound::ToF,
+        ] {
+            g.bench_with_input(
+                BenchmarkId::new("solve", format!("{tprime:?}_{bound:?}")),
+                &(tprime, bound),
+                |b, &(tprime, bound)| {
+                    b.iter(|| {
+                        let model = dra_model(&DraParams {
+                            tprime,
+                            bound,
+                            ..DraParams::new(9, 4)
+                        });
+                        reliability_curve(&model.chain, model.start, model.failed, &[40_000.0])[0]
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Coverage-planner and Monte Carlo throughput. The planner runs once
+//! per packet in the DRA simulator, so its cost bounds the event rate;
+//! the MC estimator's replication rate bounds validation turnaround.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_core::coverage::{CoveragePlanner, LcView};
+use dra_core::montecarlo::{inflated_rates, run_dra_mc, McConfig, McMode};
+use dra_net::protocol::ProtocolKind;
+use dra_router::components::{ComponentKind, Health};
+
+fn views(n: usize, failures: usize) -> Vec<LcView> {
+    let mut v: Vec<LcView> = (0..n)
+        .map(|i| LcView::healthy(ProtocolKind::ALL[i % 3], 8.5e9))
+        .collect();
+    for (k, view) in v.iter_mut().enumerate().take(failures) {
+        let kind = [ComponentKind::Lfe, ComponentKind::Sru, ComponentKind::Pdlu][k % 3];
+        view.components.set(kind, Health::Failed);
+    }
+    v
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("coverage");
+
+    for &(n, failures) in &[(6usize, 0usize), (6, 2), (16, 5)] {
+        let v = views(n, failures);
+        let planner = CoveragePlanner::new(true);
+        g.bench_with_input(
+            BenchmarkId::new("plan", format!("n{n}_f{failures}")),
+            &v,
+            |b, v| {
+                b.iter(|| {
+                    let mut acc = 0u32;
+                    for ingress in 0..n as u16 {
+                        let egress = (ingress + 1) % n as u16;
+                        let r = planner.plan(v, ingress, egress);
+                        acc = acc.wrapping_add(r.uses_eib_data() as u32);
+                    }
+                    acc
+                })
+            },
+        );
+    }
+
+    g.sample_size(10);
+    g.bench_function("monte_carlo_1k_reps", |b| {
+        let cfg = McConfig {
+            n: 6,
+            m: 3,
+            rates: inflated_rates(1000.0),
+            replications: 1_000,
+            seed: 7,
+        };
+        b.iter(|| run_dra_mc(&cfg, McMode::Reliability { horizon_h: 40.0 }).mean)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Event-kernel throughput: schedule/dispatch cost with varying queue
+//! depths, the floor under every packet-level experiment.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_des::{Ctx, Model, Simulation};
+
+struct Chain {
+    remaining: u64,
+}
+
+impl Model for Chain {
+    type Event = u8;
+    fn handle(&mut self, _ev: u8, ctx: &mut Ctx<'_, u8>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(1.0, 0);
+        }
+    }
+}
+
+/// A model that keeps `width` events pending at all times.
+struct Fanout {
+    remaining: u64,
+}
+
+impl Model for Fanout {
+    type Event = u8;
+    fn handle(&mut self, ev: u8, ctx: &mut Ctx<'_, u8>) {
+        if ev == 0 {
+            // seed
+            for _ in 0..1024 {
+                ctx.schedule(1.0, 1);
+            }
+        } else if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(1.0, 1);
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_kernel");
+
+    g.bench_function("chain_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(Chain { remaining: 100_000 }, 1);
+            sim.schedule(0.0, 0);
+            sim.run_to_completion()
+        })
+    });
+
+    {
+        let &width = &1024u64;
+        g.bench_with_input(
+            BenchmarkId::new("fanout_100k_events", width),
+            &width,
+            |b, _| {
+                b.iter(|| {
+                    let mut sim = Simulation::new(Fanout { remaining: 100_000 }, 1);
+                    sim.schedule(0.0, 0);
+                    sim.run_to_completion()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! EIB mechanics: the distributed TDM arbiter's turn machinery, the
+//! B_prom allocation, and the CSMA/CD control channel under load.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dra_core::eib::arbiter::TdmArbiter;
+use dra_core::eib::bandwidth::promised_bandwidth;
+use dra_core::eib::control::{CsmaChannel, TxResult};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("eib");
+
+    g.bench_function("tdm_turn_cycle_8lp", |b| {
+        let mut a = TdmArbiter::new(8);
+        for lc in 0..8 {
+            a.establish(lc);
+        }
+        b.iter(|| {
+            let who = a.whose_turn().unwrap();
+            a.finish_turn();
+            who
+        })
+    });
+
+    g.bench_function("tdm_churn_establish_release", |b| {
+        let mut a = TdmArbiter::new(16);
+        let mut on = [false; 16];
+        let mut k = 0usize;
+        b.iter(|| {
+            let lc = k % 16;
+            k += 1;
+            if on[lc] {
+                a.release(lc);
+                on[lc] = false;
+            } else {
+                a.establish(lc);
+                on[lc] = true;
+            }
+            a.beta()
+        })
+    });
+
+    g.bench_function("b_prom_16_flows", |b| {
+        let requests: Vec<f64> = (1..=16).map(|i| i as f64 * 1e9).collect();
+        b.iter(|| promised_bandwidth(&requests, 40e9))
+    });
+
+    g.bench_function("csma_uncontended_tx", |b| {
+        let mut ch = CsmaChannel::new(1e9, 50e-9);
+        let mut now = 0.0;
+        b.iter(|| {
+            match ch.attempt(now) {
+                TxResult::Started { tx, done_at } => {
+                    ch.complete(tx);
+                    now = done_at;
+                }
+                TxResult::Deferred { until } => now = until,
+                TxResult::Collided { jam_until } => now = jam_until,
+            }
+            now
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Crossbar scheduling throughput: iSLIP matching cost per slot under
+//! saturated uniform load, across port counts and iteration counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_net::packet::PacketId;
+use dra_net::sar::Cell;
+use dra_router::fabric::{Crossbar, OutputQueuedFabric};
+
+fn saturate(xb: &mut Crossbar, n: usize, backlog: usize) {
+    for i in 0..n as u16 {
+        for o in 0..n as u16 {
+            for k in 0..backlog as u64 {
+                let _ = xb.enqueue(Cell {
+                    src_lc: i,
+                    dst_lc: o,
+                    packet: PacketId(((i as u64) << 40) | ((o as u64) << 20) | k),
+                    seq: 0,
+                    total: 1,
+                    payload_bytes: 48,
+                });
+            }
+        }
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fabric");
+    for &n in &[4usize, 8, 16] {
+        for &iters in &[1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new("islip_slot", format!("p{n}_i{iters}")),
+                &(n, iters),
+                |b, &(n, iters)| {
+                    let mut xb = Crossbar::new(n, 1 << 20, iters, 5, 4);
+                    saturate(&mut xb, n, 4096);
+                    b.iter(|| {
+                        if xb.is_empty() {
+                            saturate(&mut xb, n, 4096);
+                        }
+                        xb.schedule_slot().len()
+                    })
+                },
+            );
+        }
+    }
+    // Idealized output-queued reference: the upper bound iSLIP chases.
+    for &n in &[8usize, 16] {
+        g.bench_with_input(BenchmarkId::new("oq_slot", format!("p{n}")), &n, |b, &n| {
+            let mut oq = OutputQueuedFabric::new(n, 1 << 20);
+            let refill = |oq: &mut OutputQueuedFabric| {
+                for i in 0..n as u16 {
+                    for o in 0..n as u16 {
+                        for k in 0..1024u64 {
+                            let _ = oq.enqueue(Cell {
+                                src_lc: i,
+                                dst_lc: o,
+                                packet: PacketId(((i as u64) << 40) | ((o as u64) << 20) | k),
+                                seq: 0,
+                                total: 1,
+                                payload_bytes: 48,
+                            });
+                        }
+                    }
+                }
+            };
+            refill(&mut oq);
+            b.iter(|| {
+                if oq.is_empty() {
+                    refill(&mut oq);
+                }
+                oq.schedule_slot().len()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

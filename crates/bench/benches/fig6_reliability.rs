@@ -1,0 +1,29 @@
+//! Benchmarks the Figure-6 pipeline: building and transiently solving
+//! the DRA reliability model at the paper's extremes, so regressions
+//! in the solver show up before they distort experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_core::analysis::reliability::{dra_model, reliability_curve, DraParams};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig6_reliability");
+    g.sample_size(10);
+
+    let times: Vec<f64> = (0..=12).map(|k| k as f64 * 5_000.0).collect();
+    for &(n, m) in &[(3usize, 2usize), (9, 4), (9, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("curve", format!("N{n}_M{m}")),
+            &(n, m),
+            |b, &(n, m)| {
+                b.iter(|| {
+                    let model = dra_model(&DraParams::new(n, m));
+                    reliability_curve(&model.chain, model.start, model.failed, &times)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Benchmarks the Figure-7 pipeline: steady-state availability solves
+//! across the (M, N) grid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_core::analysis::availability::dra_availability;
+use dra_core::analysis::reliability::DraParams;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig7_availability");
+    g.sample_size(10);
+
+    for &(n, m) in &[(3usize, 2usize), (9, 4), (9, 8)] {
+        g.bench_with_input(
+            BenchmarkId::new("steady_state", format!("N{n}_M{m}")),
+            &(n, m),
+            |b, &(n, m)| b.iter(|| dra_availability(&DraParams::new(n, m), 1.0 / 3.0)),
+        );
+    }
+
+    // The full grid, as the repro binary computes it.
+    g.bench_function("full_grid_mu3", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in 3..=9 {
+                acc += dra_availability(&DraParams::new(n, 2), 1.0 / 3.0);
+            }
+            for m in 4..=8 {
+                acc += dra_availability(&DraParams::new(9, m), 1.0 / 3.0);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks the Figure-8 pipeline — trivially cheap analytically,
+//! included for completeness plus a short packet-simulation variant
+//! that measures the cost of regenerating the figure by simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dra_core::analysis::degradation::{figure8_series, DegradationParams};
+use dra_core::sim::{DraConfig, DraRouter};
+use dra_router::bdr::BdrConfig;
+use dra_router::components::ComponentKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_degradation");
+    g.sample_size(10);
+
+    g.bench_function("analytic_all_series", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for &load in &[0.15, 0.3, 0.5, 0.7] {
+                for (_, pct) in figure8_series(&DegradationParams::paper(load)) {
+                    acc += pct;
+                }
+            }
+            acc
+        })
+    });
+
+    g.bench_function("simulated_point_l30_x2", |b| {
+        b.iter(|| {
+            let mut sim = DraRouter::simulation(
+                DraConfig {
+                    router: BdrConfig {
+                        n_lcs: 6,
+                        load: 0.30,
+                        ..BdrConfig::default()
+                    },
+                    ..Default::default()
+                },
+                7,
+            );
+            sim.run_until(0.2e-3);
+            let now = sim.now();
+            sim.model_mut()
+                .fail_component_now(0, ComponentKind::Sru, now);
+            sim.model_mut()
+                .fail_component_now(1, ComponentKind::Sru, now);
+            sim.run_until(0.6e-3);
+            sim.model().metrics.total_delivered_bytes()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

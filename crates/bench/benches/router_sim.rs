@@ -1,0 +1,86 @@
+//! Whole-simulator throughput: how much wall time one millisecond of
+//! simulated router costs, for BDR and DRA, healthy and under
+//! coverage. This is the number that bounds experiment turnaround.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_core::sim::{DraConfig, DraRouter};
+use dra_router::bdr::{BdrConfig, BdrRouter};
+use dra_router::components::ComponentKind;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router_sim");
+    g.sample_size(10);
+
+    for &load in &[0.15f64, 0.5] {
+        g.bench_with_input(
+            BenchmarkId::new("bdr_1ms", format!("l{:.0}", load * 100.0)),
+            &load,
+            |b, &load| {
+                b.iter(|| {
+                    let mut sim = BdrRouter::simulation(
+                        BdrConfig {
+                            n_lcs: 6,
+                            load,
+                            ..BdrConfig::default()
+                        },
+                        1,
+                    );
+                    sim.run_until(1e-3);
+                    sim.events_processed()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dra_healthy_1ms", format!("l{:.0}", load * 100.0)),
+            &load,
+            |b, &load| {
+                b.iter(|| {
+                    let mut sim = DraRouter::simulation(
+                        DraConfig {
+                            router: BdrConfig {
+                                n_lcs: 6,
+                                load,
+                                ..BdrConfig::default()
+                            },
+                            ..Default::default()
+                        },
+                        1,
+                    );
+                    sim.run_until(1e-3);
+                    sim.events_processed()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("dra_covering_1ms", format!("l{:.0}", load * 100.0)),
+            &load,
+            |b, &load| {
+                b.iter(|| {
+                    let mut sim = DraRouter::simulation(
+                        DraConfig {
+                            router: BdrConfig {
+                                n_lcs: 6,
+                                load,
+                                ..BdrConfig::default()
+                            },
+                            ..Default::default()
+                        },
+                        1,
+                    );
+                    sim.run_until(0.1e-3);
+                    let now = sim.now();
+                    sim.model_mut()
+                        .fail_component_now(0, ComponentKind::Sru, now);
+                    sim.model_mut()
+                        .fail_component_now(1, ComponentKind::Lfe, now);
+                    sim.run_until(1e-3);
+                    sim.events_processed()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

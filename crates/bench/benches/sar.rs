@@ -1,0 +1,68 @@
+//! Segmentation-and-reassembly throughput — the SRU's per-packet work
+//! on both sides of the fabric.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dra_net::addr::Ipv4Addr;
+use dra_net::packet::{Packet, PacketId};
+use dra_net::protocol::ProtocolKind;
+use dra_net::sar::{segment, Reassembler};
+
+fn packet(id: u64, bytes: u32) -> Packet {
+    Packet::new(
+        PacketId(id),
+        Ipv4Addr(1),
+        Ipv4Addr(2),
+        bytes,
+        ProtocolKind::Ethernet,
+        0.0,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sar");
+
+    for &bytes in &[40u32, 576, 1500] {
+        g.bench_with_input(BenchmarkId::new("segment", bytes), &bytes, |b, &bytes| {
+            let p = packet(1, bytes);
+            b.iter(|| segment(&p, 0, 3).len())
+        });
+    }
+
+    g.bench_function("segment_reassemble_1500", |b| {
+        let p = packet(1, 1500);
+        b.iter(|| {
+            let cells = segment(&p, 0, 3);
+            let mut r = Reassembler::new();
+            let mut out = None;
+            for cell in &cells {
+                if let Ok(Some(done)) = r.push(cell, 0.0) {
+                    out = Some(done);
+                }
+            }
+            out
+        })
+    });
+
+    g.bench_function("interleaved_reassembly_64_flows", |b| {
+        // 64 packets' cells arriving round-robin interleaved.
+        let packets: Vec<Packet> = (0..64).map(|i| packet(i, 1500)).collect();
+        let all_cells: Vec<Vec<_>> = packets.iter().map(|p| segment(p, 0, 1)).collect();
+        let n_cells = all_cells[0].len();
+        b.iter(|| {
+            let mut r = Reassembler::new();
+            let mut done = 0;
+            for k in 0..n_cells {
+                for cells in &all_cells {
+                    if let Ok(Some(_)) = r.push(&cells[k], 0.0) {
+                        done += 1;
+                    }
+                }
+            }
+            done
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Solver comparison: uniformization vs RK45 for transients,
+//! LU vs Gauss–Seidel vs power iteration for steady states.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dra_core::analysis::reliability::{dra_model, DraParams};
+use dra_markov::steady::{steady_state, SteadyMethod};
+use dra_markov::transient::{transient, transient_rk45, OdeOptions, TransientOptions};
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("solvers");
+    g.sample_size(10);
+
+    let model = dra_model(&DraParams::new(9, 4));
+    let pi0 = model.chain.point_mass(model.start).unwrap();
+
+    g.bench_function("uniformization_t40k", |b| {
+        b.iter(|| transient(&model.chain, &pi0, 40_000.0, TransientOptions::default()).unwrap())
+    });
+    g.bench_function("rk45_t400", |b| {
+        // RK45 at the full 40 kh horizon is orders slower; bench a
+        // shorter horizon to keep the suite fast while still exposing
+        // the per-step cost.
+        b.iter(|| transient_rk45(&model.chain, &pi0, 400.0, OdeOptions::default()).unwrap())
+    });
+
+    g.bench_function("expm_t400", |b| {
+        b.iter(|| dra_markov::transient::transient_expm(&model.chain, &pi0, 400.0).unwrap())
+    });
+
+    let avail = dra_model(&DraParams::with_repair(9, 4, 1.0 / 3.0));
+    g.bench_function("steady_lu", |b| {
+        b.iter(|| steady_state(&avail.chain, SteadyMethod::DirectLu).unwrap())
+    });
+    g.bench_function("steady_gauss_seidel", |b| {
+        b.iter(|| steady_state(&avail.chain, SteadyMethod::GaussSeidel).unwrap())
+    });
+    g.bench_function("steady_power", |b| {
+        b.iter(|| steady_state(&avail.chain, SteadyMethod::Power).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Run the entire evaluation in one go: Figures 5–8, the validation
+//! suite, the ablations, and the latency study. Pass `--quick` to
+//! shrink every sweep.
+//!
+//! Each section is the same code the individual `repro-*` binaries
+//! run; this driver simply re-executes them as child processes so
+//! their output order matches EXPERIMENTS.md.
+
+use std::process::Command;
+
+fn main() {
+    let quick = dra_bench::quick_mode();
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin directory");
+    let sections = [
+        "repro-fig5",
+        "repro-fig6",
+        "repro-fig7",
+        "repro-fig8",
+        "repro-validate",
+        "repro-ablation",
+        "repro-latency",
+    ];
+    let mut failures = 0;
+    for bin in sections {
+        println!("\n================ {bin} ================");
+        let mut cmd = Command::new(dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        match cmd.status() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                eprintln!("{bin} exited with {status}");
+                failures += 1;
+            }
+            Err(e) => {
+                eprintln!("could not launch {bin}: {e} (build with `cargo build --release -p dra-bench` first)");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+    println!("\nAll sections completed. See EXPERIMENTS.md for the reading guide.");
+}

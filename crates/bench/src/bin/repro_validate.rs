@@ -1,0 +1,275 @@
+//! E5 — validation the paper never had:
+//!
+//! 1. **Monte Carlo vs Markov** on inflated failure rates (the paper's
+//!    rates give probabilities near 1e−9, unreachable by sampling;
+//!    inflating all rates by the same factor preserves the model
+//!    structure and every rate ratio).
+//! 2. **Packet-level simulation vs the Figure-8 analysis**: fail the
+//!    SRUs of `X_faulty` linecards in the DRA simulator and compare
+//!    the measured delivery fraction of those cards' ingress traffic
+//!    against the closed-form `B_faulty` prediction; run the same
+//!    scenario on the BDR baseline for contrast.
+//!
+//! Run with `--release` (the packet simulations move millions of
+//! events); add `--quick` for a reduced sweep.
+
+use dra_bench::{print_table, quick_mode};
+use dra_core::analysis::degradation::{b_faulty_fraction, DegradationParams};
+use dra_core::analysis::reliability::{dra_model, reliability_curve, DraParams, TprimeSemantics};
+use dra_core::montecarlo::{inflated_rates, run_bdr_mc, run_dra_mc, McConfig, McMode};
+use dra_core::sim::{DraConfig, DraRouter};
+use dra_router::bdr::{BdrConfig, BdrRouter};
+use dra_router::components::ComponentKind;
+
+fn validate_markov_vs_mc(quick: bool) {
+    println!("\n#### Part 1: Monte Carlo vs Markov (rates inflated x1000) ####");
+    let reps = if quick { 5_000 } else { 40_000 };
+    let factor = 1000.0;
+    let rates = inflated_rates(factor);
+
+    let mut rows = Vec::new();
+    for &(n, m) in &[(3usize, 2usize), (5, 3), (9, 4)] {
+        for &horizon in &[20.0, 40.0, 60.0] {
+            let cfg = McConfig {
+                n,
+                m,
+                rates,
+                replications: reps,
+                seed: 0xF16 + n as u64 * 100 + m as u64,
+            };
+            let mc = run_dra_mc(&cfg, McMode::Reliability { horizon_h: horizon });
+            let params = DraParams {
+                rates,
+                tprime: TprimeSemantics::Strict,
+                ..DraParams::new(n, m)
+            };
+            let model = dra_model(&params);
+            let markov = reliability_curve(&model.chain, model.start, model.failed, &[horizon])[0];
+            let agree = (mc.mean - markov).abs() <= 3.0 * mc.ci_half.max(0.004);
+            rows.push(vec![
+                format!("N={n} M={m}"),
+                format!("{horizon:.0}"),
+                format!("{markov:.4}"),
+                format!("{:.4} ± {:.4}", mc.mean, mc.ci_half),
+                if agree {
+                    "OK".into()
+                } else {
+                    "MISMATCH".into()
+                },
+            ]);
+        }
+    }
+    print_table(
+        "DRA reliability: Markov (Strict T') vs Monte Carlo",
+        &[
+            "config",
+            "t (x1000h eq.)",
+            "Markov",
+            "MC (95% CI)",
+            "verdict",
+        ],
+        &rows,
+    );
+
+    // BDR closed form as a sanity row.
+    let cfg = McConfig {
+        n: 3,
+        m: 2,
+        rates,
+        replications: reps,
+        seed: 0xBD12,
+    };
+    let mc = run_bdr_mc(&cfg, McMode::Reliability { horizon_h: 40.0 });
+    let closed = (-rates.lc * 40.0_f64).exp();
+    println!(
+        "\nBDR closed form e^(-lambda t) = {closed:.4}; MC = {:.4} ± {:.4}",
+        mc.mean, mc.ci_half
+    );
+}
+
+/// Measured ingress delivery fraction of the faulty linecards over the
+/// post-failure window.
+fn sim_faulty_fraction(load: f64, x_faulty: usize, seed: u64, dra: bool) -> f64 {
+    let n = 6;
+    let warmup = 2e-3;
+    let horizon = 8e-3;
+    let base = BdrConfig {
+        n_lcs: n,
+        load,
+        ..BdrConfig::default()
+    };
+
+    let (offered_at_fail, delivered_at_fail, offered_end, delivered_end);
+    if dra {
+        let mut sim = DraRouter::simulation(
+            DraConfig {
+                router: base,
+                ..Default::default()
+            },
+            seed,
+        );
+        sim.run_until(warmup);
+        let now = sim.now();
+        for lc in 0..x_faulty as u16 {
+            sim.model_mut()
+                .fail_component_now(lc, ComponentKind::Sru, now);
+        }
+        let snap = |m: &dra_router::metrics::RouterMetrics| {
+            let off: u64 = (0..x_faulty).map(|i| m.lcs[i].offered_bytes).sum();
+            let del: u64 = (0..x_faulty).map(|i| m.lcs[i].delivered_bytes).sum();
+            (off, del)
+        };
+        let (o, d) = snap(&sim.model().metrics);
+        offered_at_fail = o;
+        delivered_at_fail = d;
+        sim.run_until(horizon);
+        let (o, d) = snap(&sim.model().metrics);
+        offered_end = o;
+        delivered_end = d;
+    } else {
+        let mut sim = BdrRouter::simulation(base, seed);
+        sim.run_until(warmup);
+        let now = sim.now();
+        for lc in 0..x_faulty as u16 {
+            sim.model_mut()
+                .fail_component_now(lc, ComponentKind::Sru, now);
+        }
+        let snap = |m: &dra_router::metrics::RouterMetrics| {
+            let off: u64 = (0..x_faulty).map(|i| m.lcs[i].offered_bytes).sum();
+            let del: u64 = (0..x_faulty).map(|i| m.lcs[i].delivered_bytes).sum();
+            (off, del)
+        };
+        let (o, d) = snap(&sim.model().metrics);
+        offered_at_fail = o;
+        delivered_at_fail = d;
+        sim.run_until(horizon);
+        let (o, d) = snap(&sim.model().metrics);
+        offered_end = o;
+        delivered_end = d;
+    }
+
+    let offered = (offered_end - offered_at_fail) as f64;
+    let delivered = (delivered_end - delivered_at_fail) as f64;
+    if offered == 0.0 {
+        1.0
+    } else {
+        delivered / offered
+    }
+}
+
+fn validate_fig8(quick: bool) {
+    println!("\n#### Part 2: packet simulation vs the Figure-8 analysis ####");
+    let loads: &[f64] = if quick {
+        &[0.15, 0.7]
+    } else {
+        &[0.15, 0.3, 0.5, 0.7]
+    };
+    let xs: Vec<usize> = if quick {
+        vec![1, 5]
+    } else {
+        vec![1, 2, 3, 4, 5]
+    };
+
+    let mut rows = Vec::new();
+    for &load in loads {
+        for &x in &xs {
+            let analytic = 100.0 * b_faulty_fraction(&DegradationParams::paper(load), x);
+            let sim_dra = 100.0 * sim_faulty_fraction(load, x, 0xF18, true);
+            let sim_bdr = 100.0 * sim_faulty_fraction(load, x, 0xF18, false);
+            rows.push(vec![
+                format!("{:.0}%", load * 100.0),
+                x.to_string(),
+                format!("{analytic:.1}%"),
+                format!("{sim_dra:.1}%"),
+                format!("{sim_bdr:.1}%"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 8 validation: faulty-LC delivery fraction (N=6)",
+        &[
+            "load",
+            "X_faulty",
+            "analytic B_faulty",
+            "DRA sim",
+            "BDR sim",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading: the DRA simulation should track the analytic column \
+         (within stochastic noise and the cross-traffic the analysis \
+         ignores); BDR delivers ~0% on faulty cards."
+    );
+}
+
+/// Part 3: the same-protocol constraint in the packet simulator — the
+/// sim analogue of the Markov model's M parameter.
+fn validate_protocol_mix() {
+    use dra_net::protocol::ProtocolKind;
+    println!("\n#### Part 3: PDLU coverage needs a same-protocol peer (M in the flesh) ####");
+    let mut rows = Vec::new();
+    for m in [1usize, 2, 3] {
+        // N = 6; the first `m` cards are Ethernet, the rest ATM. LC0's
+        // PDLU fails: coverage exists iff another Ethernet card exists.
+        let protocols: Vec<ProtocolKind> = (0..6)
+            .map(|i| {
+                if i < m {
+                    ProtocolKind::Ethernet
+                } else {
+                    ProtocolKind::Atm
+                }
+            })
+            .collect();
+        let mut sim = DraRouter::simulation(
+            DraConfig {
+                router: BdrConfig {
+                    n_lcs: 6,
+                    load: 0.2,
+                    protocols,
+                    ..BdrConfig::default()
+                },
+                ..Default::default()
+            },
+            0xE6,
+        );
+        sim.run_until(2e-3);
+        let now = sim.now();
+        sim.model_mut()
+            .fail_component_now(0, ComponentKind::Pdlu, now);
+        sim.run_until(6e-3);
+        let m_out = &sim.model().metrics;
+        let lc0 = &m_out.lcs[0];
+        rows.push(vec![
+            m.to_string(),
+            format!("{:.1}%", 100.0 * lc0.delivery_ratio()),
+            lc0.covered_packets.to_string(),
+            lc0.drops(dra_router::metrics::DropCause::NoCoverage)
+                .to_string(),
+            format!("{}", sim.model().lc_serviceable(0)),
+        ]);
+    }
+    print_table(
+        "PDLU failure at LC0 vs same-protocol population M (N=6)",
+        &[
+            "M",
+            "LC0 delivery",
+            "covered",
+            "no-coverage drops",
+            "serviceable",
+        ],
+        &rows,
+    );
+    println!(
+        "\nReading: with M = 1 (no Ethernet peer) the failed card drops its\n\
+         traffic exactly as the model's pd-exhaustion predicts; any peer\n\
+         (M >= 2) restores full delivery."
+    );
+}
+
+fn main() {
+    let quick = quick_mode();
+    validate_markov_vs_mc(quick);
+    validate_fig8(quick);
+    validate_protocol_mix();
+}

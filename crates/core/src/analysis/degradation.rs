@@ -1,0 +1,214 @@
+//! Figure 8: performance degradation under multiple linecard failures
+//! (§5.3).
+//!
+//! Under `X_faulty` failed linecards, each healthy LC offers its spare
+//! capacity `ψ = c_LC − L·c_LC` over the EIB; the bandwidth available
+//! to a faulty LC is the spare pool divided among the faulty LCs,
+//! capped by the EIB data-line capacity `B_BUS` (the `ΣB_faulty ≤
+//! B_BUS` constraint), and never more than the faulty LC actually
+//! needs (`L·c_LC`).
+
+/// Parameters of the degradation analysis.
+#[derive(Debug, Clone, Copy)]
+pub struct DegradationParams {
+    /// Total linecards `N` (the paper plots `N = 6`).
+    pub n: usize,
+    /// Per-linecard capacity (the paper: 10 Gbps).
+    pub c_lc_bps: f64,
+    /// Uniform offered load `L` as a fraction of `c_lc_bps`
+    /// (the paper sweeps 0.15–0.7).
+    pub load: f64,
+    /// EIB data-line capacity `B_BUS`. The paper never binds it in the
+    /// plotted range; DESIGN.md fixes the default at 40 Gbps and an
+    /// ablation sweeps it.
+    pub bus_capacity_bps: f64,
+}
+
+impl DegradationParams {
+    /// The paper's Figure-8 setup for a given load.
+    pub fn paper(load: f64) -> Self {
+        DegradationParams {
+            n: 6,
+            c_lc_bps: 10e9,
+            load,
+            bus_capacity_bps: 40e9,
+        }
+    }
+
+    /// Spare bandwidth ψ offered by one healthy LC.
+    pub fn psi(&self) -> f64 {
+        self.c_lc_bps * (1.0 - self.load)
+    }
+
+    /// Bandwidth one faulty LC needs to run at full offered load.
+    pub fn required_per_faulty(&self) -> f64 {
+        self.c_lc_bps * self.load
+    }
+}
+
+/// `B_faulty` as a fraction of the required bandwidth, for `x_faulty`
+/// simultaneous LC failures — the y-axis of Figure 8 (×100 for %).
+///
+/// Returns 1.0 (full service) when the spare pool covers the need.
+///
+/// ```
+/// use dra_core::analysis::degradation::{b_faulty_fraction, DegradationParams};
+///
+/// // The paper's worst case: N=6, 70% load, five faulty cards —
+/// // one healthy card's 3 Gbps of spare split five ways against a
+/// // 7 Gbps need each.
+/// let p = DegradationParams::paper(0.7);
+/// assert!((b_faulty_fraction(&p, 5) - 3.0 / 35.0).abs() < 1e-12);
+///
+/// // At 15% load even five failures are fully covered.
+/// let p = DegradationParams::paper(0.15);
+/// assert_eq!(b_faulty_fraction(&p, 5), 1.0);
+/// ```
+///
+/// # Panics
+/// Panics when `x_faulty` is 0 or ≥ `n` (LC_out is assumed fault-free,
+/// so at most `n − 1` cards can be faulty), or when the load is not in
+/// (0, 1].
+pub fn b_faulty_fraction(p: &DegradationParams, x_faulty: usize) -> f64 {
+    assert!(x_faulty >= 1 && x_faulty < p.n, "x_faulty out of range");
+    assert!(p.load > 0.0 && p.load <= 1.0, "load out of range");
+    let x_nonfaulty = p.n - x_faulty;
+    let spare_pool = (x_nonfaulty as f64 * p.psi()).min(p.bus_capacity_bps);
+    let per_faulty = spare_pool / x_faulty as f64;
+    (per_faulty / p.required_per_faulty()).min(1.0)
+}
+
+/// One Figure-8 series: `B_faulty` percentage for `x_faulty = 1..n-1`.
+pub fn figure8_series(p: &DegradationParams) -> Vec<(usize, f64)> {
+    (1..p.n)
+        .map(|x| (x, 100.0 * b_faulty_fraction(p, x)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_anchor_low_load_full_coverage() {
+        // L = 15%: "DRA does not suffer from any performance
+        // degradation and is able to completely support up to N−1
+        // faulty LC's".
+        let p = DegradationParams::paper(0.15);
+        for x in 1..6 {
+            assert_eq!(b_faulty_fraction(&p, x), 1.0, "x={x}");
+        }
+    }
+
+    #[test]
+    fn paper_anchor_worst_case() {
+        // L = 70%, X_faulty = 5: "less than 10% of the required
+        // capacity".
+        let p = DegradationParams::paper(0.7);
+        let f = b_faulty_fraction(&p, 5);
+        assert!(f < 0.10, "got {f}");
+        // Exact: spare = 1 * 3 Gbps; need = 5 * 7 Gbps -> 3/35.
+        assert!((f - 3.0 / 35.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degradation_monotone_in_failures_and_load() {
+        for &load in &[0.15, 0.3, 0.5, 0.7] {
+            let p = DegradationParams::paper(load);
+            let series = figure8_series(&p);
+            assert_eq!(series.len(), 5);
+            for w in series.windows(2) {
+                assert!(
+                    w[1].1 <= w[0].1 + 1e-9,
+                    "load {load}: more failures cannot increase B_faulty"
+                );
+            }
+        }
+        // Higher load -> lower fraction at the same x.
+        let lo = b_faulty_fraction(&DegradationParams::paper(0.3), 4);
+        let hi = b_faulty_fraction(&DegradationParams::paper(0.7), 4);
+        assert!(hi <= lo);
+    }
+
+    #[test]
+    fn larger_n_helps_when_failures_are_few() {
+        // Paper: "A larger N results in higher values for B_faulty as
+        // long as X_faulty is small".
+        let mut p6 = DegradationParams::paper(0.5);
+        let mut p12 = DegradationParams::paper(0.5);
+        p6.n = 6;
+        p12.n = 12;
+        // Avoid the bus cap influencing the comparison.
+        p6.bus_capacity_bps = f64::INFINITY;
+        p12.bus_capacity_bps = f64::INFINITY;
+        assert!(b_faulty_fraction(&p12, 2) >= b_faulty_fraction(&p6, 2));
+    }
+
+    #[test]
+    fn bus_capacity_caps_the_pool() {
+        let mut p = DegradationParams::paper(0.15);
+        // Tiny bus: even at low load the spare pool can't be delivered.
+        p.bus_capacity_bps = 1e9;
+        let f = b_faulty_fraction(&p, 1);
+        assert!((f - 1e9 / 1.5e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crossover_where_degradation_starts() {
+        // At L = 0.5, N = 6: spare pool (n-x)*5 vs need x*5 — full
+        // service while x <= 3, degraded beyond.
+        let p = DegradationParams::paper(0.5);
+        assert_eq!(b_faulty_fraction(&p, 3), 1.0);
+        assert!(b_faulty_fraction(&p, 4) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_failures_rejected() {
+        b_faulty_fraction(&DegradationParams::paper(0.5), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn all_failed_rejected() {
+        b_faulty_fraction(&DegradationParams::paper(0.5), 6);
+    }
+
+    proptest! {
+        #[test]
+        fn fraction_is_always_in_unit_interval(
+            load in 0.01..1.0_f64,
+            n in 3usize..16,
+            x in 1usize..15,
+            bus_gbps in 1.0..100.0_f64,
+        ) {
+            prop_assume!(x < n);
+            let p = DegradationParams {
+                n,
+                c_lc_bps: 10e9,
+                load,
+                bus_capacity_bps: bus_gbps * 1e9,
+            };
+            let f = b_faulty_fraction(&p, x);
+            prop_assert!((0.0..=1.0).contains(&f));
+        }
+
+        #[test]
+        fn delivered_bandwidth_never_exceeds_bus(
+            load in 0.01..1.0_f64,
+            x in 1usize..6,
+            bus_gbps in 1.0..100.0_f64,
+        ) {
+            let p = DegradationParams {
+                n: 6,
+                c_lc_bps: 10e9,
+                load,
+                bus_capacity_bps: bus_gbps * 1e9,
+            };
+            let f = b_faulty_fraction(&p, x);
+            let total = f * p.required_per_faulty() * x as f64;
+            prop_assert!(total <= p.bus_capacity_bps + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The paper's `B_prom` bandwidth-allocation rule (§4, "EIB Scheduling
+//! and Arbitration"):
+//!
+//! > If `B_LCT ≤ B_BUS`, then `B_prom = B_LC`. If `B_LCT > B_BUS`,
+//! > however, all the requesting LC's scale back their transmission
+//! > rates accordingly by dropping packets, to arrive at
+//! > `B_prom = (B_LC / B_LCT) × B_BUS`.
+
+/// Compute each requester's promised bandwidth given the data-line
+/// capacity `bus_capacity` (same units as the requests).
+///
+/// Zero-length input yields an empty vector; negative or non-finite
+/// requests are a caller bug and panic in debug builds.
+///
+/// ```
+/// use dra_core::eib::bandwidth::promised_bandwidth;
+///
+/// // Two faulty cards ask for 30 Gbps total on a 20 Gbps bus:
+/// let prom = promised_bandwidth(&[10e9, 20e9], 20e9);
+/// assert!((prom[0] - 20e9 / 3.0).abs() < 1.0); // scaled 2:1
+/// assert!((prom[1] - 40e9 / 3.0).abs() < 1.0);
+///
+/// // Under-subscription grants everything.
+/// assert_eq!(promised_bandwidth(&[1e9], 20e9), vec![1e9]);
+/// ```
+pub fn promised_bandwidth(requests: &[f64], bus_capacity: f64) -> Vec<f64> {
+    debug_assert!(bus_capacity >= 0.0 && bus_capacity.is_finite());
+    debug_assert!(requests.iter().all(|&b| b >= 0.0 && b.is_finite()));
+    let total: f64 = requests.iter().sum();
+    if total <= bus_capacity || total == 0.0 {
+        requests.to_vec()
+    } else {
+        let scale = bus_capacity / total;
+        requests.iter().map(|&b| b * scale).collect()
+    }
+}
+
+/// Fraction of its request each LC receives (1.0 when the bus is not
+/// oversubscribed). This is the quantity Figure 8 plots (normalized to
+/// the load).
+pub fn promised_fraction(requests: &[f64], bus_capacity: f64) -> f64 {
+    let total: f64 = requests.iter().sum();
+    if total <= bus_capacity || total == 0.0 {
+        1.0
+    } else {
+        bus_capacity / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn under_subscription_grants_everything() {
+        let req = [1.0, 2.0, 3.0];
+        assert_eq!(promised_bandwidth(&req, 10.0), req.to_vec());
+        assert_eq!(promised_fraction(&req, 10.0), 1.0);
+    }
+
+    #[test]
+    fn exact_capacity_grants_everything() {
+        let req = [4.0, 6.0];
+        assert_eq!(promised_bandwidth(&req, 10.0), req.to_vec());
+    }
+
+    #[test]
+    fn over_subscription_scales_proportionally() {
+        let req = [10.0, 30.0];
+        let prom = promised_bandwidth(&req, 20.0);
+        assert!((prom[0] - 5.0).abs() < 1e-12);
+        assert!((prom[1] - 15.0).abs() < 1e-12);
+        assert!((promised_fraction(&req, 20.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_requests() {
+        assert!(promised_bandwidth(&[], 10.0).is_empty());
+        assert_eq!(promised_bandwidth(&[0.0, 0.0], 10.0), vec![0.0, 0.0]);
+        assert_eq!(promised_fraction(&[], 10.0), 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn total_never_exceeds_capacity(
+            req in proptest::collection::vec(0.0..100.0_f64, 1..16),
+            cap in 0.1..500.0_f64,
+        ) {
+            let prom = promised_bandwidth(&req, cap);
+            let total: f64 = prom.iter().sum();
+            prop_assert!(total <= cap.max(req.iter().sum::<f64>().min(cap)) + 1e-9);
+            // Each promise never exceeds its request.
+            for (p, r) in prom.iter().zip(&req) {
+                prop_assert!(*p <= r + 1e-12);
+            }
+        }
+
+        #[test]
+        fn allocation_preserves_ratios(
+            req in proptest::collection::vec(0.01..100.0_f64, 2..8),
+            cap in 0.1..50.0_f64,
+        ) {
+            let prom = promised_bandwidth(&req, cap);
+            // b_i / b_j must be preserved for all pairs.
+            for i in 0..req.len() {
+                for j in (i + 1)..req.len() {
+                    let lhs = prom[i] * req[j];
+                    let rhs = prom[j] * req[i];
+                    prop_assert!((lhs - rhs).abs() < 1e-6 * lhs.abs().max(rhs.abs()).max(1.0));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! The EIB control lines: the three-tier control packets and a
+//! CSMA/CD channel model.
+//!
+//! The paper (§4) assigns the control lines three jobs: arbitrating
+//! access to the data lines (REQ_D / REP_D / REL_D), carrying lookup
+//! traffic for failed LFEs (REQ_L / REP_L — replies ride in control
+//! packets because they are smaller than the data-line setup would
+//! cost), and disseminating fault/protocol information (the processing
+//! tier's parameters).
+
+use dra_net::addr::Ipv4Addr;
+use dra_net::protocol::ProtocolKind;
+use dra_router::components::ComponentKind;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Communication-tier packet type (§4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommType {
+    /// Request to transfer data over the EIB.
+    ReqD,
+    /// Acceptance of an REQ_D by a willing, able LC.
+    RepD,
+    /// Request for a remote IP lookup (failed LFE).
+    ReqL,
+    /// Lookup reply, result embedded in the control packet.
+    RepL,
+    /// Release of a logical path (end of stream / resource shortage).
+    RelD,
+}
+
+/// Processing-tier parameters (§4). All optional; which are present
+/// depends on the communication type.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProcParams {
+    /// Requested transmission rate (bits/second) — REQ_D.
+    pub data_rate_bps: Option<f64>,
+    /// Protocol implemented by the initiating LC — used to find a
+    /// same-protocol LC_inter for PDLU coverage.
+    pub protocol: Option<ProtocolKind>,
+    /// Which unit failed — tells helpers whether to expect packets
+    /// (PDLU coverage, possibly via LC_inter) or cells (SRU coverage).
+    pub faulty_component: Option<ComponentKind>,
+    /// Address to look up — REQ_L.
+    pub lookup_addr: Option<Ipv4Addr>,
+    /// Lookup result (egress LC) — REP_L.
+    pub lookup_result: Option<u16>,
+    /// ID being released — REL_D (drives the arbiter's compaction).
+    pub released_id: Option<u32>,
+}
+
+/// A three-tier EIB control packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlPacket {
+    /// Addressing tier: the initiating LC.
+    pub init: u16,
+    /// Addressing tier: the receiving LC (`None` = broadcast, as for
+    /// REQ_D solicitations and REL_D announcements).
+    pub rec: Option<u16>,
+    /// Communication tier.
+    pub comm: CommType,
+    /// Processing tier.
+    pub proc: ProcParams,
+}
+
+impl ControlPacket {
+    /// Broadcast REQ_D soliciting a covering LC.
+    pub fn req_d(init: u16, rate_bps: f64, protocol: ProtocolKind, faulty: ComponentKind) -> Self {
+        ControlPacket {
+            init,
+            rec: None,
+            comm: CommType::ReqD,
+            proc: ProcParams {
+                data_rate_bps: Some(rate_bps),
+                protocol: Some(protocol),
+                faulty_component: Some(faulty),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// REP_D acceptance from `helper` back to `init`.
+    pub fn rep_d(helper: u16, init: u16) -> Self {
+        ControlPacket {
+            init: helper,
+            rec: Some(init),
+            comm: CommType::RepD,
+            proc: Default::default(),
+        }
+    }
+
+    /// REQ_L remote-lookup request.
+    pub fn req_l(init: u16, addr: Ipv4Addr) -> Self {
+        ControlPacket {
+            init,
+            rec: None,
+            comm: CommType::ReqL,
+            proc: ProcParams {
+                lookup_addr: Some(addr),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// REP_L lookup reply carrying the egress LC.
+    pub fn rep_l(helper: u16, init: u16, egress: u16) -> Self {
+        ControlPacket {
+            init: helper,
+            rec: Some(init),
+            comm: CommType::RepL,
+            proc: ProcParams {
+                lookup_result: Some(egress),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Broadcast REL_D announcing the release of logical path `id`.
+    pub fn rel_d(init: u16, id: u32) -> Self {
+        ControlPacket {
+            init,
+            rec: None,
+            comm: CommType::RelD,
+            proc: ProcParams {
+                released_id: Some(id),
+                ..Default::default()
+            },
+        }
+    }
+
+    /// Wire size of a control packet in bytes (fixed format: the three
+    /// tiers fit comfortably in one small frame).
+    pub const WIRE_BYTES: u32 = 32;
+}
+
+/// Result of attempting to transmit on the CSMA/CD control lines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TxResult {
+    /// Transmission started; call [`CsmaChannel::complete`] with this
+    /// token at `done_at` to learn whether it survived.
+    Started {
+        /// Token identifying this transmission.
+        tx: u64,
+        /// Absolute time the transmission finishes.
+        done_at: f64,
+    },
+    /// Carrier sensed busy: retry when the channel frees.
+    Deferred {
+        /// Earliest time the channel may be free.
+        until: f64,
+    },
+    /// Collision: both this attempt and the in-progress transmission
+    /// are garbled; back off (see [`CsmaChannel::backoff_delay`]).
+    Collided {
+        /// End of the jam signal.
+        jam_until: f64,
+    },
+}
+
+/// A CSMA/CD bus at packet granularity.
+///
+/// Semantics: a station that senses the channel idle transmits; if a
+/// second station starts within the propagation window `prop_delay_s`
+/// (before the first station's signal reaches it), both transmissions
+/// collide and are garbled. Completion is checked with
+/// [`CsmaChannel::complete`], mirroring how a real controller aborts on
+/// collision detect.
+#[derive(Debug)]
+pub struct CsmaChannel {
+    /// Time to clock one control packet onto the lines.
+    packet_time_s: f64,
+    /// Collision vulnerability window.
+    prop_delay_s: f64,
+    /// Backoff slot (classically ≈ 2 × propagation delay).
+    slot_s: f64,
+    busy_until: f64,
+    current_start: f64,
+    current_tx: Option<u64>,
+    next_tx: u64,
+    garbled: HashSet<u64>,
+    collisions: u64,
+}
+
+impl CsmaChannel {
+    /// A channel clocking `ControlPacket::WIRE_BYTES` at `rate_bps`
+    /// with the given propagation delay.
+    pub fn new(rate_bps: f64, prop_delay_s: f64) -> Self {
+        assert!(rate_bps > 0.0 && prop_delay_s >= 0.0);
+        CsmaChannel {
+            packet_time_s: ControlPacket::WIRE_BYTES as f64 * 8.0 / rate_bps,
+            prop_delay_s,
+            slot_s: (2.0 * prop_delay_s).max(1e-9),
+            busy_until: 0.0,
+            current_start: f64::NEG_INFINITY,
+            current_tx: None,
+            next_tx: 0,
+            garbled: HashSet::new(),
+            collisions: 0,
+        }
+    }
+
+    /// Serialization time of one control packet.
+    pub fn packet_time(&self) -> f64 {
+        self.packet_time_s
+    }
+
+    /// Collisions observed so far.
+    pub fn collisions(&self) -> u64 {
+        self.collisions
+    }
+
+    /// Attempt to start transmitting at `now`.
+    pub fn attempt(&mut self, now: f64) -> TxResult {
+        if now < self.busy_until {
+            if now < self.current_start + self.prop_delay_s {
+                // The earlier transmission hasn't propagated to us yet:
+                // we transmit into it — collision garbles both.
+                if let Some(tx) = self.current_tx.take() {
+                    self.garbled.insert(tx);
+                }
+                self.collisions += 1;
+                // Both stations abort on collision detect; the channel
+                // frees when the jam signal ends, not at the original
+                // packet's end.
+                let jam_until = now + self.slot_s;
+                self.busy_until = jam_until;
+                return TxResult::Collided { jam_until };
+            }
+            // Carrier sensed: defer (1-persistent CSMA retries at idle).
+            return TxResult::Deferred {
+                until: self.busy_until,
+            };
+        }
+        let tx = self.next_tx;
+        self.next_tx += 1;
+        self.current_tx = Some(tx);
+        self.current_start = now;
+        self.busy_until = now + self.packet_time_s;
+        TxResult::Started {
+            tx,
+            done_at: self.busy_until,
+        }
+    }
+
+    /// Did transmission `tx` survive (no collision)? Consumes the token.
+    pub fn complete(&mut self, tx: u64) -> bool {
+        if self.garbled.remove(&tx) {
+            return false;
+        }
+        if self.current_tx == Some(tx) {
+            self.current_tx = None;
+        }
+        true
+    }
+
+    /// Binary-exponential backoff delay after the `attempt_no`-th
+    /// collision (1-based), capped at 2¹⁰ slots per classic CSMA/CD.
+    pub fn backoff_delay<R: Rng + ?Sized>(&self, rng: &mut R, attempt_no: u32) -> f64 {
+        let exp = attempt_no.min(10);
+        let max_slots = 1u64 << exp;
+        let k = rng.gen_range(0..max_slots);
+        k as f64 * self.slot_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn channel() -> CsmaChannel {
+        // 1 Gbps control lines, 50 ns propagation.
+        CsmaChannel::new(1e9, 50e-9)
+    }
+
+    #[test]
+    fn packet_constructors_set_tiers() {
+        let req = ControlPacket::req_d(3, 1.5e9, ProtocolKind::Atm, ComponentKind::Sru);
+        assert_eq!(req.init, 3);
+        assert_eq!(req.rec, None, "REQ_D broadcasts");
+        assert_eq!(req.comm, CommType::ReqD);
+        assert_eq!(req.proc.data_rate_bps, Some(1.5e9));
+        assert_eq!(req.proc.protocol, Some(ProtocolKind::Atm));
+        assert_eq!(req.proc.faulty_component, Some(ComponentKind::Sru));
+
+        let rep = ControlPacket::rep_d(1, 3);
+        assert_eq!((rep.init, rep.rec), (1, Some(3)));
+
+        let ql = ControlPacket::req_l(2, Ipv4Addr(7));
+        assert_eq!(ql.proc.lookup_addr, Some(Ipv4Addr(7)));
+
+        let rl = ControlPacket::rep_l(4, 2, 5);
+        assert_eq!(rl.proc.lookup_result, Some(5));
+
+        let rel = ControlPacket::rel_d(0, 2);
+        assert_eq!(rel.proc.released_id, Some(2));
+        assert_eq!(rel.rec, None, "REL_D broadcasts");
+    }
+
+    #[test]
+    fn idle_channel_transmits_successfully() {
+        let mut ch = channel();
+        match ch.attempt(1.0) {
+            TxResult::Started { tx, done_at } => {
+                assert!((done_at - (1.0 + ch.packet_time())).abs() < 1e-15);
+                assert!(ch.complete(tx), "uncontended tx must succeed");
+            }
+            other => panic!("expected Started, got {other:?}"),
+        }
+        assert_eq!(ch.collisions(), 0);
+    }
+
+    #[test]
+    fn carrier_sense_defers() {
+        let mut ch = channel();
+        let TxResult::Started { done_at, .. } = ch.attempt(0.0) else {
+            panic!("first attempt must start");
+        };
+        // Second attempt after the propagation window but before the end.
+        match ch.attempt(100e-9) {
+            TxResult::Deferred { until } => assert_eq!(until, done_at),
+            other => panic!("expected Deferred, got {other:?}"),
+        }
+        assert_eq!(ch.collisions(), 0);
+    }
+
+    #[test]
+    fn near_simultaneous_attempts_collide() {
+        let mut ch = channel();
+        let TxResult::Started { tx, .. } = ch.attempt(0.0) else {
+            panic!("first attempt must start");
+        };
+        // Within the 50 ns vulnerability window.
+        match ch.attempt(20e-9) {
+            TxResult::Collided { jam_until } => assert!(jam_until > 20e-9),
+            other => panic!("expected Collided, got {other:?}"),
+        }
+        assert_eq!(ch.collisions(), 1);
+        assert!(!ch.complete(tx), "the garbled transmission must fail");
+    }
+
+    #[test]
+    fn channel_recovers_after_collision() {
+        let mut ch = channel();
+        ch.attempt(0.0);
+        let TxResult::Collided { jam_until } = ch.attempt(10e-9) else {
+            panic!("expected collision");
+        };
+        // After the jam clears, a retry succeeds.
+        match ch.attempt(jam_until + 1e-9) {
+            TxResult::Started { tx, .. } => assert!(ch.complete(tx)),
+            other => panic!("expected Started, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn backoff_grows_with_attempts_and_stays_bounded() {
+        let ch = channel();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let max1: f64 = (0..200)
+            .map(|_| ch.backoff_delay(&mut rng, 1))
+            .fold(0.0, f64::max);
+        let max6: f64 = (0..200)
+            .map(|_| ch.backoff_delay(&mut rng, 6))
+            .fold(0.0, f64::max);
+        assert!(max6 > max1, "backoff range must widen");
+        // Cap at 2^10 slots.
+        let hard_cap = 1024.0 * 2.0 * 50e-9;
+        for _ in 0..500 {
+            assert!(ch.backoff_delay(&mut rng, 30) <= hard_cap);
+        }
+    }
+
+    #[test]
+    fn sequential_transmissions_share_the_channel() {
+        let mut ch = channel();
+        let TxResult::Started { tx: t1, done_at } = ch.attempt(0.0) else {
+            panic!()
+        };
+        assert!(ch.complete(t1));
+        let TxResult::Started { tx: t2, .. } = ch.attempt(done_at) else {
+            panic!("channel must be free exactly at done_at")
+        };
+        assert!(ch.complete(t2));
+    }
+}

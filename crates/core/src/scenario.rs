@@ -1,0 +1,253 @@
+//! Declarative fault-scenario scripting.
+//!
+//! Experiments, examples, and the CLI all need the same shape of code:
+//! run a simulator to *t₁*, inject something, run to *t₂*, repair
+//! something, … A [`Scenario`] captures that timeline as data, runs it
+//! against either architecture, and returns the final metrics —
+//! guaranteeing that BDR/DRA comparisons execute *exactly* the same
+//! timeline.
+
+use crate::sim::{DraConfig, DraRouter};
+use dra_net::addr::Ipv4Prefix;
+use dra_router::bdr::{BdrConfig, BdrRouter};
+use dra_router::components::ComponentKind;
+use dra_router::metrics::RouterMetrics;
+
+/// One scripted action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Action {
+    /// Fail one unit of one linecard.
+    FailComponent(u16, ComponentKind),
+    /// Hot-swap repair a linecard (all units).
+    RepairLc(u16),
+    /// Fail the EIB passive lines (DRA only; ignored on BDR).
+    FailEib,
+    /// Repair the EIB lines (DRA only; ignored on BDR).
+    RepairEib,
+    /// Fail one switching-fabric plane.
+    FailFabricPlane,
+    /// Repair one switching-fabric plane.
+    RepairFabricPlane,
+    /// Announce a route on every card.
+    AnnounceRoute(Ipv4Prefix, u16),
+    /// Withdraw a route everywhere.
+    WithdrawRoute(Ipv4Prefix),
+}
+
+/// A timeline of actions over a fixed horizon.
+#[derive(Debug, Clone, Default)]
+pub struct Scenario {
+    /// `(time_s, action)` pairs; executed in time order.
+    events: Vec<(f64, Action)>,
+    horizon_s: f64,
+}
+
+impl Scenario {
+    /// An empty scenario ending at `horizon_s`.
+    pub fn new(horizon_s: f64) -> Self {
+        assert!(horizon_s > 0.0 && horizon_s.is_finite());
+        Scenario {
+            events: Vec::new(),
+            horizon_s,
+        }
+    }
+
+    /// Schedule an action (builder style).
+    ///
+    /// # Panics
+    /// Panics when `at_s` lies outside `[0, horizon]`.
+    pub fn at(mut self, at_s: f64, action: Action) -> Self {
+        assert!(
+            (0.0..=self.horizon_s).contains(&at_s),
+            "action at {at_s}s outside horizon {}s",
+            self.horizon_s
+        );
+        self.events.push((at_s, action));
+        self
+    }
+
+    /// The configured horizon.
+    pub fn horizon(&self) -> f64 {
+        self.horizon_s
+    }
+
+    /// Number of scripted actions.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when no actions are scripted.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    fn ordered(&self) -> Vec<(f64, Action)> {
+        let mut ev = self.events.clone();
+        ev.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+        ev
+    }
+
+    /// Run against the DRA architecture; returns (metrics, final model).
+    pub fn run_dra(&self, config: DraConfig, seed: u64) -> DraRouter {
+        let mut sim = DraRouter::simulation(config, seed);
+        for (at, action) in self.ordered() {
+            sim.run_until(at);
+            let now = sim.now();
+            let model = sim.model_mut();
+            match action {
+                Action::FailComponent(lc, kind) => model.fail_component_now(lc, kind, now),
+                Action::RepairLc(lc) => model.repair_lc_now(lc, now),
+                Action::FailEib => model.fail_eib_now(now),
+                Action::RepairEib => model.repair_eib_now(now),
+                Action::FailFabricPlane => model.fabric.fail_plane(),
+                Action::RepairFabricPlane => model.fabric.repair_plane(),
+                Action::AnnounceRoute(p, nh) => model.announce_route(p, nh),
+                Action::WithdrawRoute(p) => {
+                    model.withdraw_route(p);
+                }
+            }
+        }
+        sim.run_until(self.horizon_s);
+        sim.into_model()
+    }
+
+    /// Run against the BDR baseline (EIB actions are no-ops there).
+    pub fn run_bdr(&self, config: BdrConfig, seed: u64) -> BdrRouter {
+        let mut sim = BdrRouter::simulation(config, seed);
+        for (at, action) in self.ordered() {
+            sim.run_until(at);
+            let now = sim.now();
+            let model = sim.model_mut();
+            match action {
+                Action::FailComponent(lc, kind) => model.fail_component_now(lc, kind, now),
+                Action::RepairLc(lc) => model.repair_lc_now(lc, now),
+                Action::FailEib | Action::RepairEib => {}
+                Action::FailFabricPlane => model.fabric.fail_plane(),
+                Action::RepairFabricPlane => model.fabric.repair_plane(),
+                Action::AnnounceRoute(p, nh) => model.announce_route(p, nh),
+                Action::WithdrawRoute(p) => {
+                    model.withdraw_route(p);
+                }
+            }
+        }
+        sim.run_until(self.horizon_s);
+        sim.into_model()
+    }
+
+    /// Run the identical timeline on both architectures and return
+    /// `(bdr_metrics, dra_metrics)`.
+    pub fn compare(&self, base: BdrConfig, seed: u64) -> (RouterMetrics, RouterMetrics) {
+        let bdr = self.run_bdr(base.clone(), seed);
+        let dra = self.run_dra(
+            DraConfig {
+                router: base,
+                ..Default::default()
+            },
+            seed,
+        );
+        (bdr.metrics, dra.metrics)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dra_router::metrics::DropCause;
+
+    fn base(n: usize, load: f64) -> BdrConfig {
+        BdrConfig {
+            n_lcs: n,
+            load,
+            ..BdrConfig::default()
+        }
+    }
+
+    #[test]
+    fn builder_validates_times() {
+        let s = Scenario::new(1e-3)
+            .at(0.2e-3, Action::FailComponent(0, ComponentKind::Lfe))
+            .at(0.7e-3, Action::RepairLc(0));
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.horizon(), 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside horizon")]
+    fn actions_past_horizon_rejected() {
+        let _ = Scenario::new(1e-3).at(2e-3, Action::FailEib);
+    }
+
+    #[test]
+    fn out_of_order_actions_execute_in_time_order() {
+        // Scripted repair-before-failure in the list; time order wins.
+        let s = Scenario::new(3e-3)
+            .at(2e-3, Action::RepairLc(0))
+            .at(1e-3, Action::FailComponent(0, ComponentKind::Sru));
+        let dra = s.run_dra(
+            DraConfig {
+                router: base(4, 0.2),
+                ..Default::default()
+            },
+            5,
+        );
+        // Coverage happened (failure preceded repair), then recovered.
+        assert!(dra.metrics.lcs[0].covered_packets > 0);
+        assert!(dra.metrics.byte_delivery_ratio() > 0.98);
+    }
+
+    #[test]
+    fn compare_runs_identical_timelines() {
+        let s = Scenario::new(3e-3).at(1e-3, Action::FailComponent(0, ComponentKind::Lfe));
+        let (bdr, dra) = s.compare(base(4, 0.2), 42);
+        // Identical offered traffic, divergent outcomes.
+        for lc in 0..4 {
+            assert_eq!(bdr.lcs[lc].offered_packets, dra.lcs[lc].offered_packets);
+        }
+        assert!(bdr.lcs[0].drops(DropCause::IngressDown) > 0);
+        assert_eq!(dra.lcs[0].drops(DropCause::IngressDown), 0);
+        assert!(dra.byte_delivery_ratio() > bdr.byte_delivery_ratio());
+    }
+
+    #[test]
+    fn eib_actions_are_noops_on_bdr() {
+        let s = Scenario::new(2e-3)
+            .at(0.5e-3, Action::FailEib)
+            .at(1.5e-3, Action::RepairEib);
+        let bdr = s.run_bdr(base(3, 0.15), 7);
+        assert!(bdr.metrics.byte_delivery_ratio() > 0.98);
+    }
+
+    #[test]
+    fn fabric_plane_actions_flow_through() {
+        let s = Scenario::new(2e-3)
+            .at(0.5e-3, Action::FailFabricPlane)
+            .at(0.6e-3, Action::FailFabricPlane)
+            .at(1.2e-3, Action::RepairFabricPlane);
+        let dra = s.run_dra(
+            DraConfig {
+                router: base(3, 0.15),
+                ..Default::default()
+            },
+            9,
+        );
+        assert_eq!(dra.fabric.planes_failed(), 1);
+    }
+
+    #[test]
+    fn route_actions_update_the_rib() {
+        use dra_net::addr::Ipv4Addr;
+        let p = Ipv4Prefix::new(Ipv4Addr::from_octets(10, 1, 128, 0), 17);
+        let s = Scenario::new(2e-3)
+            .at(0.5e-3, Action::AnnounceRoute(p, 2))
+            .at(1.5e-3, Action::WithdrawRoute(p));
+        let dra = s.run_dra(
+            DraConfig {
+                router: base(3, 0.15),
+                ..Default::default()
+            },
+            11,
+        );
+        assert_eq!(dra.rp.route_count(), 3, "announce+withdraw nets out");
+    }
+}

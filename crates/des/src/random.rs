@@ -1,0 +1,247 @@
+//! Inverse-transform samplers over any [`rand::Rng`].
+//!
+//! Implemented here (rather than pulling in `rand_distr`) because the
+//! simulators need only a handful of distributions, and owning the code
+//! makes the numerical behaviour auditable: every sampler is a few
+//! lines of inverse-transform.
+
+use rand::Rng;
+
+/// Sample an exponential with the given `rate` (mean `1/rate`).
+///
+/// # Panics
+/// Panics when `rate` is not strictly positive and finite.
+#[inline]
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(
+        rate > 0.0 && rate.is_finite(),
+        "exponential: bad rate {rate}"
+    );
+    // gen::<f64>() is in [0,1); use 1-u in (0,1] so ln() is finite.
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    -u.ln() / rate
+}
+
+/// Sample a bounded Pareto on `[lo, hi]` with shape `alpha`.
+///
+/// Used for heavy-tailed packet-size and burst-length draws.
+#[inline]
+pub fn bounded_pareto<R: Rng + ?Sized>(rng: &mut R, alpha: f64, lo: f64, hi: f64) -> f64 {
+    assert!(
+        alpha > 0.0 && lo > 0.0 && hi > lo,
+        "bounded_pareto: bad params"
+    );
+    let u: f64 = rng.gen();
+    let la = lo.powf(alpha);
+    let ha = hi.powf(alpha);
+    // Inverse CDF of the bounded Pareto.
+    (-(u * ha - u * la - ha) / (ha * la))
+        .powf(-1.0 / alpha)
+        .clamp(lo, hi)
+}
+
+/// Sample uniformly from `[lo, hi)`.
+#[inline]
+pub fn uniform<R: Rng + ?Sized>(rng: &mut R, lo: f64, hi: f64) -> f64 {
+    assert!(hi > lo, "uniform: empty range");
+    rng.gen_range(lo..hi)
+}
+
+/// Bernoulli trial with probability `p`.
+#[inline]
+pub fn coin<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    assert!((0.0..=1.0).contains(&p), "coin: p out of range");
+    rng.gen::<f64>() < p
+}
+
+/// Sample a geometric count (number of failures before first success)
+/// with success probability `p` in (0, 1].
+#[inline]
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "geometric: bad p {p}");
+    if p == 1.0 {
+        return 0;
+    }
+    let u: f64 = 1.0 - rng.gen::<f64>();
+    (u.ln() / (1.0 - p).ln()).floor() as u64
+}
+
+/// A discrete empirical distribution over arbitrary items.
+///
+/// Sampling is O(log n) by binary search on the cumulative weights; the
+/// packet-size mixes used by the traffic generators have ≤ 4 entries,
+/// but FIB-churn experiments draw from thousands of prefixes.
+#[derive(Debug, Clone)]
+pub struct Discrete<T: Clone> {
+    items: Vec<T>,
+    cumulative: Vec<f64>,
+}
+
+impl<T: Clone> Discrete<T> {
+    /// Build from `(item, weight)` pairs. Weights must be nonnegative
+    /// and sum to something positive.
+    pub fn new(pairs: &[(T, f64)]) -> Option<Self> {
+        if pairs.is_empty() {
+            return None;
+        }
+        let mut items = Vec::with_capacity(pairs.len());
+        let mut cumulative = Vec::with_capacity(pairs.len());
+        let mut acc = 0.0;
+        for (item, w) in pairs {
+            if !w.is_finite() || *w < 0.0 {
+                return None;
+            }
+            acc += w;
+            items.push(item.clone());
+            cumulative.push(acc);
+        }
+        if acc <= 0.0 {
+            return None;
+        }
+        Some(Discrete { items, cumulative })
+    }
+
+    /// Draw one item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &T {
+        let total = *self.cumulative.last().expect("nonempty");
+        let x = rng.gen::<f64>() * total;
+        let idx = self.cumulative.partition_point(|&c| c <= x);
+        &self.items[idx.min(self.items.len() - 1)]
+    }
+
+    /// Number of distinct items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when the distribution has no items (never constructed so).
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(0xD5A)
+    }
+
+    #[test]
+    fn exponential_mean_and_positivity() {
+        let mut r = rng();
+        let rate = 0.25;
+        let n = 200_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = exponential(&mut r, rate);
+            assert!(x >= 0.0);
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!(
+            (mean - 4.0).abs() < 0.05,
+            "sample mean {mean} too far from 4.0"
+        );
+    }
+
+    #[test]
+    fn exponential_memoryless_tail() {
+        // P(X > 2/rate) should be e^-2 ~ 0.1353.
+        let mut r = rng();
+        let rate = 1.0;
+        let n = 100_000;
+        let count = (0..n).filter(|_| exponential(&mut r, rate) > 2.0).count();
+        let p = count as f64 / n as f64;
+        assert!((p - (-2.0_f64).exp()).abs() < 0.01, "tail prob {p}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bad rate")]
+    fn exponential_rejects_zero_rate() {
+        exponential(&mut rng(), 0.0);
+    }
+
+    #[test]
+    fn bounded_pareto_stays_in_range() {
+        let mut r = rng();
+        for _ in 0..10_000 {
+            let x = bounded_pareto(&mut r, 1.2, 40.0, 1500.0);
+            assert!((40.0..=1500.0).contains(&x), "out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn bounded_pareto_skews_low() {
+        // With alpha > 0 most mass is near lo: median well below midpoint.
+        let mut r = rng();
+        let mut v: Vec<f64> = (0..10_001)
+            .map(|_| bounded_pareto(&mut r, 1.2, 40.0, 1500.0))
+            .collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = v[v.len() / 2];
+        assert!(median < (40.0 + 1500.0) / 2.0, "median {median}");
+    }
+
+    #[test]
+    fn uniform_and_coin() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = uniform(&mut r, 2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+        }
+        let heads = (0..100_000).filter(|_| coin(&mut r, 0.3)).count();
+        let p = heads as f64 / 100_000.0;
+        assert!((p - 0.3).abs() < 0.01);
+    }
+
+    #[test]
+    fn geometric_mean() {
+        let mut r = rng();
+        let p = 0.2;
+        let n = 100_000;
+        let sum: u64 = (0..n).map(|_| geometric(&mut r, p)).sum();
+        let mean = sum as f64 / n as f64;
+        // Mean of failures-before-success geometric is (1-p)/p = 4.
+        assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
+        assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn discrete_respects_weights() {
+        let d = Discrete::new(&[("a", 1.0), ("b", 3.0)]).unwrap();
+        let mut r = rng();
+        let n = 100_000;
+        let b_count = (0..n).filter(|_| *d.sample(&mut r) == "b").count();
+        let p = b_count as f64 / n as f64;
+        assert!((p - 0.75).abs() < 0.01, "p(b) = {p}");
+    }
+
+    #[test]
+    fn discrete_zero_weight_items_never_sampled() {
+        let d = Discrete::new(&[(1u8, 0.0), (2u8, 1.0), (3u8, 0.0)]).unwrap();
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert_eq!(*d.sample(&mut r), 2);
+        }
+    }
+
+    #[test]
+    fn discrete_rejects_bad_input() {
+        assert!(Discrete::<u8>::new(&[]).is_none());
+        assert!(Discrete::new(&[(1u8, -1.0)]).is_none());
+        assert!(Discrete::new(&[(1u8, 0.0)]).is_none());
+        assert!(Discrete::new(&[(1u8, f64::NAN)]).is_none());
+    }
+
+    #[test]
+    fn discrete_single_item() {
+        let d = Discrete::new(&[(7u8, 0.5)]).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(!d.is_empty());
+        assert_eq!(*d.sample(&mut rng()), 7);
+    }
+}

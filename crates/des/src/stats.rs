@@ -1,0 +1,415 @@
+//! Online statistics for simulation output analysis.
+//!
+//! Everything here is single-pass and allocation-free per observation,
+//! so metrics can be updated on the simulator's hot path.
+
+/// Welford's online mean/variance accumulator.
+#[derive(Debug, Clone)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Welford {
+    /// Same as [`Welford::new`] — a derived `Default` would zero the
+    /// min/max trackers instead of starting them at ±∞.
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Welford {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Welford {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            f64::NAN
+        } else {
+            self.max
+        }
+    }
+
+    /// Half-width of a normal-approximation confidence interval at the
+    /// given z-score (1.96 for 95%).
+    pub fn ci_half_width(&self, z: f64) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        z * self.std_dev() / (self.n as f64).sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel sweeps).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Time-weighted average of a piecewise-constant signal, e.g. queue
+/// length or "is this linecard operational".
+#[derive(Debug, Clone)]
+pub struct TimeWeighted {
+    last_t: f64,
+    last_v: f64,
+    integral: f64,
+    start_t: f64,
+}
+
+impl TimeWeighted {
+    /// Start tracking at `t0` with initial value `v0`.
+    pub fn new(t0: f64, v0: f64) -> Self {
+        TimeWeighted {
+            last_t: t0,
+            last_v: v0,
+            integral: 0.0,
+            start_t: t0,
+        }
+    }
+
+    /// Record that the signal changed to `v` at time `t` (≥ last update).
+    #[inline]
+    pub fn update(&mut self, t: f64, v: f64) {
+        debug_assert!(t >= self.last_t, "time went backwards");
+        self.integral += self.last_v * (t - self.last_t);
+        self.last_t = t;
+        self.last_v = v;
+    }
+
+    /// Current value of the signal.
+    pub fn current(&self) -> f64 {
+        self.last_v
+    }
+
+    /// Time-weighted mean over `[start, t_end]`.
+    pub fn average(&self, t_end: f64) -> f64 {
+        debug_assert!(t_end >= self.last_t);
+        let span = t_end - self.start_t;
+        if span <= 0.0 {
+            return self.last_v;
+        }
+        (self.integral + self.last_v * (t_end - self.last_t)) / span
+    }
+}
+
+/// A histogram with logarithmically spaced buckets, for latency-style
+/// quantities spanning orders of magnitude.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    lo: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Buckets spanning `[lo, hi)` with `n` logarithmic divisions.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `n > 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && n > 0, "LogHistogram: bad params");
+        LogHistogram {
+            lo,
+            ratio: (hi / lo).powf(1.0 / n as f64),
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate quantile (returns the geometric midpoint of the
+    /// bucket containing quantile `q` in `[0, 1]`).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = (q * self.total as f64).ceil() as u64;
+        let mut acc = self.underflow;
+        if acc >= target && self.underflow > 0 {
+            return self.lo;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let lo = self.lo * self.ratio.powi(i as i32);
+                return lo * self.ratio.sqrt();
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Count of observations that exceeded the top bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count below the bottom bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+}
+
+/// Batch-means confidence interval for a (possibly autocorrelated)
+/// steady-state simulation output sequence.
+///
+/// Splits the series into `batches` contiguous batches, averages each,
+/// and treats batch means as independent — the textbook method for DES
+/// output analysis.
+pub fn batch_means_ci(samples: &[f64], batches: usize, z: f64) -> Option<(f64, f64)> {
+    if batches < 2 || samples.len() < 2 * batches {
+        return None;
+    }
+    let per = samples.len() / batches;
+    let mut w = Welford::new();
+    for b in 0..batches {
+        let chunk = &samples[b * per..(b + 1) * per];
+        let mean = chunk.iter().sum::<f64>() / per as f64;
+        w.push(mean);
+    }
+    Some((w.mean(), w.ci_half_width(z)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn welford_matches_naive() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &data {
+            w.push(x);
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (data.len() - 1) as f64;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+        assert_eq!(w.min(), 2.0);
+        assert_eq!(w.max(), 9.0);
+        assert_eq!(w.count(), 8);
+    }
+
+    #[test]
+    fn welford_empty_and_single() {
+        let mut w = Welford::new();
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.min().is_nan());
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+        assert!(w.ci_half_width(1.96).is_nan());
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let a_data = [1.0, 2.0, 3.0];
+        let b_data = [10.0, 20.0, 30.0, 40.0];
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        let mut all = Welford::new();
+        for &x in &a_data {
+            a.push(x);
+            all.push(x);
+        }
+        for &x in &b_data {
+            b.push(x);
+            all.push(x);
+        }
+        a.merge(&b);
+        assert!((a.mean() - all.mean()).abs() < 1e-12);
+        assert!((a.variance() - all.variance()).abs() < 1e-12);
+        assert_eq!(a.count(), 7);
+
+        // Merging into empty copies the other side.
+        let mut e = Welford::new();
+        e.merge(&all);
+        assert!((e.mean() - all.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn time_weighted_average() {
+        // Signal: 0 on [0,1), 2 on [1,3), 1 on [3,4].
+        let mut tw = TimeWeighted::new(0.0, 0.0);
+        tw.update(1.0, 2.0);
+        tw.update(3.0, 1.0);
+        let avg = tw.average(4.0);
+        let expect = (0.0 * 1.0 + 2.0 * 2.0 + 1.0 * 1.0) / 4.0;
+        assert!((avg - expect).abs() < 1e-12);
+        assert_eq!(tw.current(), 1.0);
+    }
+
+    #[test]
+    fn time_weighted_zero_span() {
+        let tw = TimeWeighted::new(5.0, 3.0);
+        assert_eq!(tw.average(5.0), 3.0);
+    }
+
+    #[test]
+    fn log_histogram_buckets_and_quantiles() {
+        let mut h = LogHistogram::new(1e-6, 1.0, 60);
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-5);
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        // True median is 5.0e-3; log buckets give geometric-mid accuracy.
+        assert!(
+            (p50 / 5.0e-3).ln().abs() < 0.2,
+            "p50 {p50} too far from 5e-3"
+        );
+        let p99 = h.quantile(0.99);
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn log_histogram_under_overflow() {
+        let mut h = LogHistogram::new(1.0, 10.0, 4);
+        h.record(0.5);
+        h.record(100.0);
+        h.record(3.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+        // Quantile 1.0 with overflow present reports +inf.
+        assert!(h.quantile(1.0).is_infinite());
+    }
+
+    #[test]
+    fn batch_means_basic() {
+        // Constant series: CI should collapse to zero width.
+        let samples = vec![5.0; 100];
+        let (mean, hw) = batch_means_ci(&samples, 10, 1.96).unwrap();
+        assert_eq!(mean, 5.0);
+        assert_eq!(hw, 0.0);
+    }
+
+    #[test]
+    fn batch_means_requires_enough_data() {
+        assert!(batch_means_ci(&[1.0, 2.0], 2, 1.96).is_none());
+        assert!(batch_means_ci(&[1.0; 100], 1, 1.96).is_none());
+    }
+
+    #[test]
+    fn batch_means_covers_true_mean() {
+        // AR(1)-ish correlated noise around 10.0.
+        let mut x = 0.0;
+        let mut state = 12345u64;
+        let mut rand01 = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state as f64 / u64::MAX as f64
+        };
+        let samples: Vec<f64> = (0..10_000)
+            .map(|_| {
+                x = 0.9 * x + (rand01() - 0.5);
+                10.0 + x
+            })
+            .collect();
+        let (mean, hw) = batch_means_ci(&samples, 20, 2.6).unwrap();
+        assert!(
+            (mean - 10.0).abs() < hw + 0.5,
+            "mean {mean} hw {hw} should cover 10"
+        );
+    }
+}

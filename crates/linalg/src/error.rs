@@ -1,0 +1,117 @@
+//! Error type shared by every solver in the crate.
+
+use std::fmt;
+
+/// Errors produced by matrix construction and linear solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands have incompatible dimensions.
+    DimensionMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Dimensions of the left-hand operand (rows, cols).
+        lhs: (usize, usize),
+        /// Dimensions of the right-hand operand (rows, cols).
+        rhs: (usize, usize),
+    },
+    /// The matrix is singular (or numerically singular) and cannot be
+    /// factorized or solved against.
+    Singular {
+        /// Pivot column at which the factorization broke down.
+        pivot: usize,
+    },
+    /// An iterative method failed to reach the requested tolerance.
+    NoConvergence {
+        /// Iterations performed before giving up.
+        iterations: usize,
+        /// Residual norm at the final iteration.
+        residual: f64,
+    },
+    /// An index was outside the matrix bounds.
+    OutOfBounds {
+        /// Offending (row, col).
+        index: (usize, usize),
+        /// Matrix shape (rows, cols).
+        shape: (usize, usize),
+    },
+    /// A value that must be finite was NaN or infinite.
+    NotFinite {
+        /// Description of where the non-finite value was seen.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { op, lhs, rhs } => write!(
+                f,
+                "dimension mismatch in {op}: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular at pivot column {pivot}")
+            }
+            LinalgError::NoConvergence {
+                iterations,
+                residual,
+            } => write!(
+                f,
+                "iterative solver failed to converge after {iterations} iterations \
+                 (residual {residual:.3e})"
+            ),
+            LinalgError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            LinalgError::NotFinite { context } => {
+                write!(f, "non-finite value encountered in {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = LinalgError::DimensionMismatch {
+            op: "matvec",
+            lhs: (3, 4),
+            rhs: (5, 1),
+        };
+        let s = e.to_string();
+        assert!(s.contains("matvec"));
+        assert!(s.contains("3x4"));
+        assert!(s.contains("5x1"));
+
+        let e = LinalgError::Singular { pivot: 2 };
+        assert!(e.to_string().contains("pivot column 2"));
+
+        let e = LinalgError::NoConvergence {
+            iterations: 100,
+            residual: 1e-3,
+        };
+        assert!(e.to_string().contains("100 iterations"));
+
+        let e = LinalgError::OutOfBounds {
+            index: (9, 9),
+            shape: (3, 3),
+        };
+        assert!(e.to_string().contains("(9, 9)"));
+
+        let e = LinalgError::NotFinite { context: "rhs" };
+        assert!(e.to_string().contains("rhs"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,174 @@
+//! Dense matrix exponential by scaling-and-squaring with a Taylor
+//! core.
+//!
+//! Gives the Markov crate a *third* independent transient method
+//! (besides uniformization and RK45): `π(t) = π(0) · e^{Qt}`. For the
+//! paper's small generators a scaled Taylor series is simple, robust,
+//! and plenty accurate; the three methods share no numerical machinery,
+//! so their agreement in tests is strong evidence of correctness.
+
+use crate::dense::DenseMatrix;
+use crate::error::LinalgError;
+use crate::Result;
+
+/// Compute `e^A` for a square matrix.
+///
+/// Scaling-and-squaring: pick `k` with `‖A‖∞ / 2^k ≤ 1/2`, evaluate a
+/// Taylor series of `e^{A/2^k}` to machine-precision convergence, then
+/// square `k` times. Intended for the small (≲ few hundred states)
+/// dense generators of dependability models; complexity is `O(k·n³)`.
+pub fn expm(a: &DenseMatrix) -> Result<DenseMatrix> {
+    if !a.is_square() {
+        return Err(LinalgError::DimensionMismatch {
+            op: "expm",
+            lhs: (a.rows(), a.cols()),
+            rhs: (a.cols(), a.rows()),
+        });
+    }
+    let n = a.rows();
+    if n == 0 {
+        return Ok(DenseMatrix::zeros(0, 0));
+    }
+    // Infinity norm (max absolute row sum).
+    let mut norm = 0.0_f64;
+    for r in 0..n {
+        let s: f64 = a.row(r).iter().map(|v| v.abs()).sum();
+        norm = norm.max(s);
+    }
+    if !norm.is_finite() {
+        return Err(LinalgError::NotFinite {
+            context: "expm input",
+        });
+    }
+    let k = if norm <= 0.5 {
+        0
+    } else {
+        (norm / 0.5).log2().ceil() as u32
+    };
+    let mut scaled = a.clone();
+    let factor = 0.5_f64.powi(k as i32);
+    for r in 0..n {
+        crate::vector::scale(factor, scaled.row_mut(r));
+    }
+
+    // Taylor: I + B + B²/2! + …, term-by-term until negligible.
+    let mut result = DenseMatrix::identity(n);
+    let mut term = DenseMatrix::identity(n);
+    for j in 1..=64 {
+        term = term.matmul(&scaled)?;
+        let inv = 1.0 / j as f64;
+        for r in 0..n {
+            crate::vector::scale(inv, term.row_mut(r));
+        }
+        for r in 0..n {
+            crate::vector::axpy(1.0, term.row(r), result.row_mut(r));
+        }
+        if term.max_abs() < 1e-18 {
+            break;
+        }
+    }
+    // Undo the scaling by repeated squaring.
+    for _ in 0..k {
+        result = result.matmul(&result)?;
+    }
+    Ok(result)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: &DenseMatrix, b: &DenseMatrix, tol: f64) -> bool {
+        a.rows() == b.rows()
+            && a.cols() == b.cols()
+            && (0..a.rows()).all(|r| {
+                a.row(r)
+                    .iter()
+                    .zip(b.row(r))
+                    .all(|(x, y)| (x - y).abs() < tol)
+            })
+    }
+
+    #[test]
+    fn exp_of_zero_is_identity() {
+        let z = DenseMatrix::zeros(3, 3);
+        assert!(close(&expm(&z).unwrap(), &DenseMatrix::identity(3), 1e-15));
+    }
+
+    #[test]
+    fn exp_of_diagonal_is_elementwise() {
+        let mut d = DenseMatrix::zeros(2, 2);
+        d.set(0, 0, 1.0);
+        d.set(1, 1, -2.0);
+        let e = expm(&d).unwrap();
+        assert!((e.get(0, 0) - 1.0_f64.exp()).abs() < 1e-12);
+        assert!((e.get(1, 1) - (-2.0_f64).exp()).abs() < 1e-12);
+        assert!(e.get(0, 1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn exp_of_nilpotent_truncates() {
+        // N = [[0,1],[0,0]]: e^N = I + N exactly.
+        let mut nmat = DenseMatrix::zeros(2, 2);
+        nmat.set(0, 1, 1.0);
+        let e = expm(&nmat).unwrap();
+        assert!((e.get(0, 0) - 1.0).abs() < 1e-15);
+        assert!((e.get(0, 1) - 1.0).abs() < 1e-15);
+        assert!((e.get(1, 1) - 1.0).abs() < 1e-15);
+        assert!(e.get(1, 0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn semigroup_property() {
+        // e^A · e^A = e^{2A}.
+        let a = DenseMatrix::from_rows(2, 2, vec![-0.7, 0.7, 0.3, -0.3]).unwrap();
+        let e1 = expm(&a).unwrap();
+        let sq = e1.matmul(&e1).unwrap();
+        let mut a2 = a.clone();
+        for r in 0..2 {
+            crate::vector::scale(2.0, a2.row_mut(r));
+        }
+        let e2 = expm(&a2).unwrap();
+        assert!(close(&sq, &e2, 1e-12));
+    }
+
+    #[test]
+    fn generator_exponential_is_stochastic() {
+        // A generator's exponential is a transition-probability matrix:
+        // nonnegative with unit row sums.
+        let q = DenseMatrix::from_rows(3, 3, vec![-2.0, 1.5, 0.5, 0.2, -0.2, 0.0, 0.0, 3.0, -3.0])
+            .unwrap();
+        let p = expm(&q).unwrap();
+        for r in 0..3 {
+            let sum: f64 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12, "row {r} sums to {sum}");
+            assert!(p.row(r).iter().all(|&v| v >= -1e-15), "negative prob");
+        }
+    }
+
+    #[test]
+    fn large_norm_uses_scaling() {
+        // Norm ~ 40 forces several squarings; closed form for 2-state
+        // chain checks accuracy.
+        let (l, m) = (12.0, 28.0);
+        let q = DenseMatrix::from_rows(2, 2, vec![-l, l, m, -m]).unwrap();
+        let p = expm(&q).unwrap();
+        // P[0][0] at t=1: m/(l+m) + l/(l+m) e^{-(l+m)}.
+        let expect = m / (l + m) + l / (l + m) * (-(l + m)).exp();
+        assert!((p.get(0, 0) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_rectangular_and_nonfinite() {
+        assert!(expm(&DenseMatrix::zeros(2, 3)).is_err());
+        let mut bad = DenseMatrix::zeros(2, 2);
+        bad.set(0, 0, f64::INFINITY);
+        assert!(expm(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let e = expm(&DenseMatrix::zeros(0, 0)).unwrap();
+        assert_eq!(e.rows(), 0);
+    }
+}

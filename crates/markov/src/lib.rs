@@ -1,0 +1,40 @@
+//! # dra-markov
+//!
+//! Continuous-time Markov chains (CTMCs) for dependability analysis,
+//! built for the Markov models of the DRA paper (ICPP 2004, §5) but
+//! fully general:
+//!
+//! * [`CtmcBuilder`] / [`Ctmc`] — construct chains from labeled states
+//!   and transition rates; the generator is validated (nonnegative
+//!   off-diagonals, zero row sums) at build time.
+//! * [`transient`] — transient state probabilities π(t) by
+//!   **uniformization** (the workhorse; numerically robust for stiff
+//!   dependability models) and by an adaptive **RK45** ODE integrator
+//!   (used to cross-validate uniformization in tests and benches).
+//! * [`steady`] — steady-state distribution by dense LU on the balance
+//!   equations, by Gauss–Seidel, or by power iteration on the
+//!   uniformized DTMC.
+//! * [`absorbing`] — mean time to absorption (MTTF) and absorption
+//!   probabilities for chains with absorbing failure states.
+//! * [`reward`] — state reward structures: instantaneous expected
+//!   reward (e.g. point availability), and probability mass over a
+//!   state predicate (e.g. reliability = mass outside the failed set).
+
+#![warn(missing_docs)]
+// Index-parallel numerical kernels read better with explicit indices.
+#![allow(clippy::needless_range_loop)]
+
+pub mod absorbing;
+pub mod ctmc;
+pub mod phase;
+pub mod reward;
+pub mod steady;
+pub mod transient;
+
+pub use absorbing::AbsorbingAnalysis;
+pub use ctmc::{Ctmc, CtmcBuilder, MarkovError, StateId};
+pub use steady::SteadyMethod;
+pub use transient::TransientOptions;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, MarkovError>;

@@ -1,0 +1,207 @@
+//! Phase-type repair: turn a reliability chain into an availability
+//! chain whose repair time is Erlang-k distributed.
+//!
+//! The paper assumes repair "take\[s\] a fixed amount of time" but then
+//! uses a Markov model, which forces an exponential repair. An
+//! Erlang-k repair (k phases at rate kμ each; same mean 1/μ, variance
+//! 1/(kμ²)) interpolates between the exponential (k = 1) and the fixed
+//! time (k → ∞), so sweeping k quantifies how much the distribution
+//! assumption matters — for the availability figures, very little,
+//! because stationary availability of an alternating-renewal process
+//! depends on the repair *mean* to first order.
+
+use crate::ctmc::{Ctmc, CtmcBuilder, MarkovError, StateId};
+use crate::Result;
+
+/// Build an availability chain from a (no-repair) `base` chain by
+/// attaching an Erlang-`k` repair clock that starts ticking in every
+/// state except `start` and, on completion, resets the system to
+/// `start`.
+///
+/// Returns the new chain, its start state, and the images of each base
+/// state: `images[s][j]` is base state `s` in repair phase `j`
+/// (`j = 0` is only meaningful for `start`; degraded states exist for
+/// phases `0..k`).
+pub fn with_erlang_repair(
+    base: &Ctmc,
+    start: StateId,
+    mu: f64,
+    k: usize,
+) -> Result<(Ctmc, StateId, Vec<Vec<StateId>>)> {
+    if !mu.is_finite() || mu <= 0.0 {
+        return Err(MarkovError::InvalidRate {
+            rate: mu,
+            from: "erlang repair".into(),
+            to: "needs mu > 0".into(),
+        });
+    }
+    if k == 0 {
+        return Err(MarkovError::BadStructure {
+            reason: "Erlang repair needs at least one phase",
+        });
+    }
+    let n = base.n_states();
+    let mut b = CtmcBuilder::new();
+
+    // images[s][j]: the (state, phase) product state. `start` has a
+    // single image; every other state has k phase images.
+    let mut images: Vec<Vec<StateId>> = Vec::with_capacity(n);
+    for s in base.states() {
+        if s == start {
+            images.push(vec![b.state(format!("{}|ok", base.label(s)))?]);
+        } else {
+            let mut phases = Vec::with_capacity(k);
+            for j in 0..k {
+                phases.push(b.state(format!("{}|r{j}", base.label(s)))?);
+            }
+            images.push(phases);
+        }
+    }
+    let new_start = images[start.index()][0];
+    let phase_rate = mu * k as f64;
+
+    for s in base.states() {
+        let from_images: &[StateId] = &images[s.index()];
+        // Base transitions preserve the repair phase; leaving `start`
+        // begins phase 0.
+        for (c, rate) in base.generator().row_entries(s.index()) {
+            if c == s.index() || rate <= 0.0 {
+                continue;
+            }
+            let to = StateId(c);
+            if s == start {
+                let target = images[to.index()][0];
+                b.rate(new_start, target, rate)?;
+            } else {
+                for (j, &img) in from_images.iter().enumerate() {
+                    // A base transition into `start` (unusual for a
+                    // reliability chain) abandons the repair clock.
+                    let target = if to == start {
+                        new_start
+                    } else {
+                        images[to.index()][j]
+                    };
+                    b.rate(img, target, rate)?;
+                }
+            }
+        }
+        // Repair phases advance; the last completes the hot swap.
+        if s != start {
+            for j in 0..k {
+                let target = if j + 1 < k {
+                    images[s.index()][j + 1]
+                } else {
+                    new_start
+                };
+                b.rate(images[s.index()][j], target, phase_rate)?;
+            }
+        }
+    }
+
+    Ok((b.build()?, new_start, images))
+}
+
+/// Probability mass on the images of `base_state` under a distribution
+/// over the phase-expanded chain.
+pub fn mass_on(images: &[Vec<StateId>], base_state: StateId, pi: &[f64]) -> f64 {
+    images[base_state.index()]
+        .iter()
+        .map(|s| pi[s.index()])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::steady::{steady_state, SteadyMethod};
+
+    /// A pure-death base chain: up -> down at lambda.
+    fn base() -> (Ctmc, StateId, StateId) {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up").unwrap();
+        let down = b.state("down").unwrap();
+        b.rate(up, down, 2e-5).unwrap();
+        (b.build().unwrap(), up, down)
+    }
+
+    #[test]
+    fn k1_reduces_to_exponential_repair() {
+        let (chain, up, down) = base();
+        let mu = 1.0 / 3.0;
+        let (expanded, start, images) = with_erlang_repair(&chain, up, mu, 1).unwrap();
+        assert_eq!(expanded.n_states(), 2);
+        let pi = steady_state(&expanded, SteadyMethod::DirectLu).unwrap();
+        let a = mass_on(&images, up, &pi);
+        let expect = mu / (mu + 2e-5);
+        assert!((a - expect).abs() < 1e-12, "{a} vs {expect}");
+        assert_eq!(start.index(), images[up.index()][0].index());
+        let _ = down;
+    }
+
+    #[test]
+    fn alternating_renewal_insensitivity() {
+        // For a single-failure system, stationary availability is
+        // MTTF/(MTTF + MTTR) for *any* repair distribution — so it
+        // must not move with k.
+        let (chain, up, _) = base();
+        let mu = 1.0 / 3.0;
+        let mut prev: Option<f64> = None;
+        for k in [1usize, 2, 4, 8, 16] {
+            let (expanded, _, images) = with_erlang_repair(&chain, up, mu, k).unwrap();
+            let pi = steady_state(&expanded, SteadyMethod::DirectLu).unwrap();
+            let a = mass_on(&images, up, &pi);
+            if let Some(p) = prev {
+                assert!(
+                    (a - p).abs() < 1e-12,
+                    "k={k}: availability moved from {p} to {a}"
+                );
+            }
+            prev = Some(a);
+        }
+    }
+
+    #[test]
+    fn state_count_scales_with_phases() {
+        let (chain, up, _) = base();
+        for k in 1..=4 {
+            let (expanded, _, _) = with_erlang_repair(&chain, up, 0.5, k).unwrap();
+            // 1 start image + k images of "down".
+            assert_eq!(expanded.n_states(), 1 + k);
+        }
+    }
+
+    #[test]
+    fn multi_state_base_chain() {
+        // up -> deg -> down; repair from any degraded state.
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up").unwrap();
+        let deg = b.state("deg").unwrap();
+        let down = b.state("down").unwrap();
+        b.rate(up, deg, 1e-3).unwrap();
+        b.rate(deg, down, 5e-4).unwrap();
+        let chain = b.build().unwrap();
+        let mu = 0.25;
+        let (expanded, _, images) = with_erlang_repair(&chain, up, mu, 3).unwrap();
+        // 1 + 3 + 3 states; generator conservative.
+        assert_eq!(expanded.n_states(), 7);
+        for s in expanded.generator().row_sums() {
+            assert!(s.abs() < 1e-15);
+        }
+        let pi = steady_state(&expanded, SteadyMethod::DirectLu).unwrap();
+        let a_up = mass_on(&images, up, &pi);
+        let a_down = mass_on(&images, down, &pi);
+        assert!(a_up > 0.99, "mostly up: {a_up}");
+        assert!(a_down < 5e-3, "rarely fully down: {a_down}");
+        let total: f64 = pi.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let (chain, up, _) = base();
+        assert!(with_erlang_repair(&chain, up, 0.0, 2).is_err());
+        assert!(with_erlang_repair(&chain, up, -1.0, 2).is_err());
+        assert!(with_erlang_repair(&chain, up, f64::NAN, 2).is_err());
+        assert!(with_erlang_repair(&chain, up, 0.5, 0).is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! Reward structures over chain states.
+//!
+//! Dependability metrics are rewards: *point availability* is the
+//! expected value of an indicator reward (1 on operational states) at
+//! time t; *reliability* is the same on a chain whose failure states
+//! are absorbing; *interval availability* is the time-averaged
+//! accumulated reward.
+
+use crate::ctmc::{Ctmc, MarkovError, StateId};
+use crate::transient::{transient_many, TransientOptions};
+use crate::Result;
+
+/// A per-state reward vector bound to a chain's state space.
+#[derive(Debug, Clone)]
+pub struct Rewards {
+    values: Vec<f64>,
+}
+
+impl Rewards {
+    /// Zero reward on every state of `chain`.
+    pub fn zeros(chain: &Ctmc) -> Self {
+        Rewards {
+            values: vec![0.0; chain.n_states()],
+        }
+    }
+
+    /// Indicator reward: 1.0 on the listed states, 0.0 elsewhere.
+    pub fn indicator(chain: &Ctmc, states: &[StateId]) -> Result<Self> {
+        let mut r = Self::zeros(chain);
+        for &s in states {
+            if s.index() >= r.values.len() {
+                return Err(MarkovError::UnknownState { index: s.index() });
+            }
+            r.values[s.index()] = 1.0;
+        }
+        Ok(r)
+    }
+
+    /// Indicator reward on the complement of the listed states — the
+    /// usual "operational" reward given a failed-state list.
+    pub fn complement_indicator(chain: &Ctmc, failed: &[StateId]) -> Result<Self> {
+        let mut r = Rewards {
+            values: vec![1.0; chain.n_states()],
+        };
+        for &s in failed {
+            if s.index() >= r.values.len() {
+                return Err(MarkovError::UnknownState { index: s.index() });
+            }
+            r.values[s.index()] = 0.0;
+        }
+        Ok(r)
+    }
+
+    /// Set an individual state's reward.
+    pub fn set(&mut self, s: StateId, value: f64) -> Result<()> {
+        if s.index() >= self.values.len() {
+            return Err(MarkovError::UnknownState { index: s.index() });
+        }
+        self.values[s.index()] = value;
+        Ok(())
+    }
+
+    /// Expected reward under a probability vector.
+    pub fn expect(&self, pi: &[f64]) -> Result<f64> {
+        if pi.len() != self.values.len() {
+            return Err(MarkovError::InvalidDistribution {
+                reason: "length mismatch with reward vector",
+            });
+        }
+        Ok(dra_linalg::vector::dot(&self.values, pi))
+    }
+
+    /// The raw reward vector.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+/// Expected instantaneous reward at each of several time points:
+/// `E[r(X(t))]` for `t` in `times`.
+pub fn expected_at_times(
+    chain: &Ctmc,
+    pi0: &[f64],
+    rewards: &Rewards,
+    times: &[f64],
+    opts: TransientOptions,
+) -> Result<Vec<f64>> {
+    let sols = transient_many(chain, pi0, times, opts)?;
+    sols.iter().map(|pi| rewards.expect(pi)).collect()
+}
+
+/// Accumulated reward over `[0, t]` by trapezoidal quadrature on a
+/// uniform grid of `steps` intervals: `∫₀ᵗ E[r(X(s))] ds`.
+///
+/// Dividing by `t` yields interval availability. The grid trapezoid is
+/// deliberate: it reuses the incremental multi-time transient solver,
+/// and dependability rewards are smooth except at t=0.
+pub fn accumulated(
+    chain: &Ctmc,
+    pi0: &[f64],
+    rewards: &Rewards,
+    t: f64,
+    steps: usize,
+    opts: TransientOptions,
+) -> Result<f64> {
+    if !t.is_finite() || t <= 0.0 {
+        return Err(MarkovError::InvalidTime { t });
+    }
+    if steps == 0 {
+        return Err(MarkovError::InvalidTime { t: 0.0 });
+    }
+    let times: Vec<f64> = (0..=steps).map(|i| t * i as f64 / steps as f64).collect();
+    let vals = expected_at_times(chain, pi0, rewards, &times, opts)?;
+    let h = t / steps as f64;
+    let mut integral = 0.0;
+    for w in vals.windows(2) {
+        integral += 0.5 * (w[0] + w[1]) * h;
+    }
+    Ok(integral)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ctmc::CtmcBuilder;
+    use crate::steady::{steady_state, SteadyMethod};
+
+    fn repairable(lambda: f64, mu: f64) -> (Ctmc, StateId, StateId) {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up").unwrap();
+        let down = b.state("down").unwrap();
+        b.rate(up, down, lambda).unwrap();
+        b.rate(down, up, mu).unwrap();
+        (b.build().unwrap(), up, down)
+    }
+
+    #[test]
+    fn indicator_and_complement() {
+        let (c, up, down) = repairable(0.1, 1.0);
+        let r = Rewards::indicator(&c, &[up]).unwrap();
+        assert_eq!(r.as_slice(), &[1.0, 0.0]);
+        let rc = Rewards::complement_indicator(&c, &[down]).unwrap();
+        assert_eq!(rc.as_slice(), r.as_slice());
+    }
+
+    #[test]
+    fn expect_is_dot_product() {
+        let (c, up, _) = repairable(0.1, 1.0);
+        let mut r = Rewards::zeros(&c);
+        r.set(up, 10.0).unwrap();
+        assert_eq!(r.expect(&[0.25, 0.75]).unwrap(), 2.5);
+        assert!(r.expect(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn point_availability_converges_to_steady_state() {
+        let (c, up, down) = repairable(0.2, 2.0);
+        let pi0 = c.point_mass(up).unwrap();
+        let r = Rewards::complement_indicator(&c, &[down]).unwrap();
+        let vals =
+            expected_at_times(&c, &pi0, &r, &[0.0, 100.0], TransientOptions::default()).unwrap();
+        assert_eq!(vals[0], 1.0);
+        let ss = steady_state(&c, SteadyMethod::DirectLu).unwrap();
+        let a_inf = r.expect(&ss).unwrap();
+        assert!((vals[1] - a_inf).abs() < 1e-10);
+    }
+
+    #[test]
+    fn interval_availability_between_point_values() {
+        let (c, up, down) = repairable(0.5, 1.0);
+        let pi0 = c.point_mass(up).unwrap();
+        let r = Rewards::complement_indicator(&c, &[down]).unwrap();
+        let t = 10.0;
+        let acc = accumulated(&c, &pi0, &r, t, 400, TransientOptions::default()).unwrap();
+        let interval_avail = acc / t;
+        // Interval availability starts at 1 and decays toward the
+        // steady-state value; it must lie strictly between them.
+        let ss = steady_state(&c, SteadyMethod::DirectLu).unwrap();
+        let a_inf = r.expect(&ss).unwrap();
+        assert!(interval_avail > a_inf && interval_avail < 1.0);
+    }
+
+    #[test]
+    fn accumulated_validates_inputs() {
+        let (c, up, _) = repairable(0.5, 1.0);
+        let pi0 = c.point_mass(up).unwrap();
+        let r = Rewards::zeros(&c);
+        assert!(accumulated(&c, &pi0, &r, -1.0, 10, TransientOptions::default()).is_err());
+        assert!(accumulated(&c, &pi0, &r, 1.0, 0, TransientOptions::default()).is_err());
+    }
+
+    #[test]
+    fn unknown_state_rejected() {
+        let (c, _, _) = repairable(0.5, 1.0);
+        let mut r = Rewards::zeros(&c);
+        assert!(r.set(StateId(7), 1.0).is_err());
+        assert!(Rewards::indicator(&c, &[StateId(9)]).is_err());
+    }
+}

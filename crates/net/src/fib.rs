@@ -1,0 +1,560 @@
+//! Longest-prefix-match forwarding tables (the LFE's core data
+//! structure).
+//!
+//! Three implementations behind the [`Fib`] trait:
+//!
+//! * [`LinearFib`] — the obviously-correct reference: a flat list
+//!   scanned for the longest covering prefix. Used as the oracle in
+//!   property tests and for tiny tables.
+//! * [`TrieFib`] — a binary trie, one bit per level. Updates are O(32);
+//!   the default choice when the FIB churns.
+//! * [`StrideFib`] — a multibit trie with 8-bit strides and controlled
+//!   prefix expansion; lookups touch at most four nodes. Removal
+//!   rebuilds from the retained prefix store, mirroring real compiled
+//!   FIBs that are regenerated off the critical path.
+//!
+//! Next hops are `u16` egress linecard indices — all the router
+//! simulator needs.
+
+use crate::addr::{Ipv4Addr, Ipv4Prefix};
+use std::collections::HashMap;
+
+/// A longest-prefix-match table mapping prefixes to next hops.
+///
+/// ```
+/// use dra_net::fib::{Fib, TrieFib};
+///
+/// let mut fib = TrieFib::new();
+/// fib.insert("10.0.0.0/8".parse().unwrap(), 1);
+/// fib.insert("10.1.0.0/16".parse().unwrap(), 2);
+///
+/// // The longest matching prefix wins.
+/// assert_eq!(fib.lookup("10.1.2.3".parse().unwrap()), Some(2));
+/// assert_eq!(fib.lookup("10.9.9.9".parse().unwrap()), Some(1));
+/// assert_eq!(fib.lookup("11.0.0.1".parse().unwrap()), None);
+/// ```
+pub trait Fib {
+    /// Insert (or replace) a route; returns the previous next hop.
+    fn insert(&mut self, prefix: Ipv4Prefix, next_hop: u16) -> Option<u16>;
+
+    /// Remove a route; returns its next hop if present.
+    fn remove(&mut self, prefix: Ipv4Prefix) -> Option<u16>;
+
+    /// Longest-prefix-match lookup.
+    fn lookup(&self, addr: Ipv4Addr) -> Option<u16>;
+
+    /// Number of routes installed.
+    fn len(&self) -> usize;
+
+    /// True when no routes are installed.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// LinearFib
+// ---------------------------------------------------------------------------
+
+/// Reference implementation: linear scan for the longest covering prefix.
+#[derive(Debug, Default, Clone)]
+pub struct LinearFib {
+    routes: Vec<(Ipv4Prefix, u16)>,
+}
+
+impl LinearFib {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Fib for LinearFib {
+    fn insert(&mut self, prefix: Ipv4Prefix, next_hop: u16) -> Option<u16> {
+        for (p, nh) in &mut self.routes {
+            if *p == prefix {
+                return Some(std::mem::replace(nh, next_hop));
+            }
+        }
+        self.routes.push((prefix, next_hop));
+        None
+    }
+
+    fn remove(&mut self, prefix: Ipv4Prefix) -> Option<u16> {
+        let pos = self.routes.iter().position(|(p, _)| *p == prefix)?;
+        Some(self.routes.swap_remove(pos).1)
+    }
+
+    fn lookup(&self, addr: Ipv4Addr) -> Option<u16> {
+        self.routes
+            .iter()
+            .filter(|(p, _)| p.contains(addr))
+            .max_by_key(|(p, _)| p.len())
+            .map(|&(_, nh)| nh)
+    }
+
+    fn len(&self) -> usize {
+        self.routes.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TrieFib
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Default)]
+struct TrieNode {
+    children: [Option<Box<TrieNode>>; 2],
+    next_hop: Option<u16>,
+}
+
+impl TrieNode {
+    fn is_leafless(&self) -> bool {
+        self.next_hop.is_none() && self.children[0].is_none() && self.children[1].is_none()
+    }
+}
+
+/// Binary (unibit) trie FIB.
+#[derive(Debug, Default)]
+pub struct TrieFib {
+    root: TrieNode,
+    len: usize,
+}
+
+impl TrieFib {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Remove along the bit path, pruning empty branches on the way out.
+    fn remove_rec(node: &mut TrieNode, prefix: Ipv4Prefix, depth: u8) -> Option<u16> {
+        if depth == prefix.len() {
+            return node.next_hop.take();
+        }
+        let bit = prefix.addr().bit(depth) as usize;
+        let child = node.children[bit].as_mut()?;
+        let removed = Self::remove_rec(child, prefix, depth + 1);
+        if removed.is_some() && child.is_leafless() {
+            node.children[bit] = None;
+        }
+        removed
+    }
+}
+
+impl Fib for TrieFib {
+    fn insert(&mut self, prefix: Ipv4Prefix, next_hop: u16) -> Option<u16> {
+        let mut node = &mut self.root;
+        for depth in 0..prefix.len() {
+            let bit = prefix.addr().bit(depth) as usize;
+            node = node.children[bit].get_or_insert_with(Default::default);
+        }
+        let old = node.next_hop.replace(next_hop);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    fn remove(&mut self, prefix: Ipv4Prefix) -> Option<u16> {
+        let removed = Self::remove_rec(&mut self.root, prefix, 0);
+        if removed.is_some() {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn lookup(&self, addr: Ipv4Addr) -> Option<u16> {
+        let mut best = self.root.next_hop;
+        let mut node = &self.root;
+        for depth in 0..32 {
+            let bit = addr.bit(depth) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    if node.next_hop.is_some() {
+                        best = node.next_hop;
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+// ---------------------------------------------------------------------------
+// StrideFib
+// ---------------------------------------------------------------------------
+
+/// One 8-bit-stride node: 256 expanded entries plus 256 child slots.
+struct StrideNode {
+    /// Best (longest) prefix terminating in this node for each byte
+    /// value, as `(next_hop, prefix_len)`.
+    entries: Vec<Option<(u16, u8)>>,
+    children: Vec<Option<Box<StrideNode>>>,
+}
+
+impl StrideNode {
+    fn new() -> Self {
+        StrideNode {
+            entries: vec![None; 256],
+            children: (0..256).map(|_| None).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for StrideNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let filled = self.entries.iter().filter(|e| e.is_some()).count();
+        let kids = self.children.iter().filter(|c| c.is_some()).count();
+        write!(f, "StrideNode({filled} entries, {kids} children)")
+    }
+}
+
+/// Multibit trie with 8-bit strides and controlled prefix expansion.
+#[derive(Debug)]
+pub struct StrideFib {
+    root: StrideNode,
+    /// The authoritative route store; removal rebuilds the trie from it.
+    store: HashMap<Ipv4Prefix, u16>,
+    /// Next hop for the default route, which expands to "everything".
+    default_route: Option<u16>,
+}
+
+impl Default for StrideFib {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StrideFib {
+    /// Empty table.
+    pub fn new() -> Self {
+        StrideFib {
+            root: StrideNode::new(),
+            store: HashMap::new(),
+            default_route: None,
+        }
+    }
+
+    fn insert_into_trie(root: &mut StrideNode, prefix: Ipv4Prefix, next_hop: u16) {
+        debug_assert!(prefix.len() > 0, "default route handled separately");
+        let octets = prefix.addr().octets();
+        let mut node = root;
+        let mut depth = 0u8; // bits consumed
+        loop {
+            let byte = octets[(depth / 8) as usize] as usize;
+            let remaining = prefix.len() - depth;
+            if remaining <= 8 {
+                // Expand within this node: the prefix covers 2^(8-remaining)
+                // consecutive byte values.
+                let span = 1usize << (8 - remaining);
+                let base = byte & !(span - 1);
+                for e in &mut node.entries[base..base + span] {
+                    // Longer prefixes win; equal length means replacement.
+                    if e.is_none_or(|(_, plen)| plen <= prefix.len()) {
+                        *e = Some((next_hop, prefix.len()));
+                    }
+                }
+                return;
+            }
+            node = node.children[byte].get_or_insert_with(|| Box::new(StrideNode::new()));
+            depth += 8;
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.root = StrideNode::new();
+        for (&prefix, &nh) in &self.store {
+            if prefix.is_default() {
+                continue;
+            }
+            Self::insert_into_trie(&mut self.root, prefix, nh);
+        }
+    }
+}
+
+impl Fib for StrideFib {
+    fn insert(&mut self, prefix: Ipv4Prefix, next_hop: u16) -> Option<u16> {
+        let old = self.store.insert(prefix, next_hop);
+        if prefix.is_default() {
+            let prev = self.default_route.replace(next_hop);
+            return old.or(prev);
+        }
+        if old.is_some() {
+            // Replacing a route with the same length: the expansion rule
+            // `plen <= prefix.len()` overwrites stale entries in place.
+            Self::insert_into_trie(&mut self.root, prefix, next_hop);
+        } else {
+            Self::insert_into_trie(&mut self.root, prefix, next_hop);
+        }
+        old
+    }
+
+    fn remove(&mut self, prefix: Ipv4Prefix) -> Option<u16> {
+        let old = self.store.remove(&prefix)?;
+        if prefix.is_default() {
+            self.default_route = None;
+        } else {
+            // Expanded entries cannot be un-expanded in place; rebuild
+            // from the store (real compiled FIBs regenerate off-path).
+            self.rebuild();
+        }
+        Some(old)
+    }
+
+    fn lookup(&self, addr: Ipv4Addr) -> Option<u16> {
+        let octets = addr.octets();
+        let mut best = self.default_route;
+        let mut node = &self.root;
+        for &byte in &octets {
+            let idx = byte as usize;
+            if let Some((nh, _)) = node.entries[idx] {
+                best = Some(nh);
+            }
+            match &node.children[idx] {
+                Some(child) => node = child,
+                None => break,
+            }
+        }
+        best
+    }
+
+    fn len(&self) -> usize {
+        self.store.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic route tables
+// ---------------------------------------------------------------------------
+
+/// Generate a deterministic synthetic route table of `n` prefixes with
+/// an Internet-like length mix (most routes /16–/24), mapping to
+/// `n_ports` next hops. Substitutes for a real BGP dump (none is
+/// shipped with the paper); only the LPM code path matters here.
+pub fn synthetic_routes(n: usize, n_ports: u16, seed: u64) -> Vec<(Ipv4Prefix, u16)> {
+    assert!(n_ports > 0);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let r = next();
+        // Length mix: 10% /8-/15, 60% /16-/23, 30% /24-/28.
+        let len = match r % 10 {
+            0 => 8 + (next() % 8) as u8,
+            1..=6 => 16 + (next() % 8) as u8,
+            _ => 24 + (next() % 5) as u8,
+        };
+        let addr = Ipv4Addr(next() as u32);
+        let nh = (next() % n_ports as u64) as u16;
+        out.push((Ipv4Prefix::new(addr, len), nh));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn pfx(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    /// Run one scripted scenario against any Fib implementation.
+    fn scenario(fib: &mut dyn Fib) {
+        assert!(fib.is_empty());
+        assert_eq!(fib.lookup(ip("10.0.0.1")), None);
+
+        fib.insert(pfx("10.0.0.0/8"), 1);
+        fib.insert(pfx("10.1.0.0/16"), 2);
+        fib.insert(pfx("10.1.2.0/24"), 3);
+        assert_eq!(fib.len(), 3);
+
+        // Longest match wins.
+        assert_eq!(fib.lookup(ip("10.1.2.3")), Some(3));
+        assert_eq!(fib.lookup(ip("10.1.9.9")), Some(2));
+        assert_eq!(fib.lookup(ip("10.9.9.9")), Some(1));
+        assert_eq!(fib.lookup(ip("11.0.0.1")), None);
+
+        // Replacement returns the old hop and keeps len.
+        assert_eq!(fib.insert(pfx("10.1.0.0/16"), 7), Some(2));
+        assert_eq!(fib.len(), 3);
+        assert_eq!(fib.lookup(ip("10.1.9.9")), Some(7));
+
+        // Default route catches everything.
+        fib.insert(Ipv4Prefix::default_route(), 9);
+        assert_eq!(fib.lookup(ip("11.0.0.1")), Some(9));
+        assert_eq!(fib.lookup(ip("10.1.2.3")), Some(3));
+
+        // Removal re-exposes shorter prefixes.
+        assert_eq!(fib.remove(pfx("10.1.2.0/24")), Some(3));
+        assert_eq!(fib.lookup(ip("10.1.2.3")), Some(7));
+        assert_eq!(fib.remove(pfx("10.1.2.0/24")), None);
+        assert_eq!(fib.remove(Ipv4Prefix::default_route()), Some(9));
+        assert_eq!(fib.lookup(ip("11.0.0.1")), None);
+        assert_eq!(fib.len(), 2);
+    }
+
+    #[test]
+    fn linear_scenario() {
+        scenario(&mut LinearFib::new());
+    }
+
+    #[test]
+    fn trie_scenario() {
+        scenario(&mut TrieFib::new());
+    }
+
+    #[test]
+    fn stride_scenario() {
+        scenario(&mut StrideFib::new());
+    }
+
+    #[test]
+    fn host_routes_work() {
+        for fib in [
+            &mut TrieFib::new() as &mut dyn Fib,
+            &mut StrideFib::new(),
+            &mut LinearFib::new(),
+        ] {
+            fib.insert(pfx("1.2.3.4/32"), 5);
+            assert_eq!(fib.lookup(ip("1.2.3.4")), Some(5));
+            assert_eq!(fib.lookup(ip("1.2.3.5")), None);
+        }
+    }
+
+    #[test]
+    fn sibling_prefixes_do_not_interfere() {
+        for fib in [
+            &mut TrieFib::new() as &mut dyn Fib,
+            &mut StrideFib::new(),
+            &mut LinearFib::new(),
+        ] {
+            fib.insert(pfx("128.0.0.0/1"), 1);
+            fib.insert(pfx("0.0.0.0/1"), 2);
+            assert_eq!(fib.lookup(ip("200.0.0.1")), Some(1));
+            assert_eq!(fib.lookup(ip("100.0.0.1")), Some(2));
+        }
+    }
+
+    #[test]
+    fn stride_boundary_lengths() {
+        // Lengths exactly on stride boundaries (8, 16, 24, 32) exercise
+        // the expand-vs-descend decision.
+        let mut fib = StrideFib::new();
+        fib.insert(pfx("10.0.0.0/8"), 8);
+        fib.insert(pfx("10.20.0.0/16"), 16);
+        fib.insert(pfx("10.20.30.0/24"), 24);
+        fib.insert(pfx("10.20.30.40/32"), 32);
+        assert_eq!(fib.lookup(ip("10.20.30.40")), Some(32));
+        assert_eq!(fib.lookup(ip("10.20.30.41")), Some(24));
+        assert_eq!(fib.lookup(ip("10.20.31.1")), Some(16));
+        assert_eq!(fib.lookup(ip("10.21.0.1")), Some(8));
+    }
+
+    #[test]
+    fn trie_prunes_on_remove() {
+        let mut fib = TrieFib::new();
+        fib.insert(pfx("10.20.30.0/24"), 1);
+        fib.remove(pfx("10.20.30.0/24"));
+        // Root must be leafless again (no dangling chain of nodes).
+        assert!(fib.root.is_leafless());
+    }
+
+    #[test]
+    fn synthetic_routes_shape() {
+        let routes = synthetic_routes(1000, 16, 42);
+        assert_eq!(routes.len(), 1000);
+        assert!(routes.iter().all(|(p, nh)| p.len() >= 8 && *nh < 16));
+        // Deterministic for a fixed seed.
+        assert_eq!(routes, synthetic_routes(1000, 16, 42));
+        assert_ne!(routes, synthetic_routes(1000, 16, 43));
+    }
+
+    /// Arbitrary prefix strategy for property tests.
+    fn prefix_strategy() -> impl Strategy<Value = Ipv4Prefix> {
+        (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Prefix::new(Ipv4Addr(addr), len))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn tries_agree_with_linear_reference(
+            routes in proptest::collection::vec((prefix_strategy(), 0u16..8), 1..80),
+            probes in proptest::collection::vec(any::<u32>(), 32),
+        ) {
+            let mut lin = LinearFib::new();
+            let mut trie = TrieFib::new();
+            let mut stride = StrideFib::new();
+            for &(p, nh) in &routes {
+                lin.insert(p, nh);
+                trie.insert(p, nh);
+                stride.insert(p, nh);
+            }
+            prop_assert_eq!(lin.len(), trie.len());
+            prop_assert_eq!(lin.len(), stride.len());
+            for &a in &probes {
+                let addr = Ipv4Addr(a);
+                let expect = lin.lookup(addr);
+                prop_assert_eq!(trie.lookup(addr), expect, "trie mismatch at {}", addr);
+                prop_assert_eq!(stride.lookup(addr), expect, "stride mismatch at {}", addr);
+            }
+            // Probe the route addresses themselves (guaranteed hits).
+            for &(p, _) in &routes {
+                let expect = lin.lookup(p.addr());
+                prop_assert_eq!(trie.lookup(p.addr()), expect);
+                prop_assert_eq!(stride.lookup(p.addr()), expect);
+            }
+        }
+
+        #[test]
+        fn removal_keeps_implementations_in_agreement(
+            routes in proptest::collection::vec((prefix_strategy(), 0u16..8), 1..40),
+            remove_mask in proptest::collection::vec(any::<bool>(), 40),
+            probes in proptest::collection::vec(any::<u32>(), 16),
+        ) {
+            let mut lin = LinearFib::new();
+            let mut trie = TrieFib::new();
+            let mut stride = StrideFib::new();
+            for &(p, nh) in &routes {
+                lin.insert(p, nh);
+                trie.insert(p, nh);
+                stride.insert(p, nh);
+            }
+            for (i, &(p, _)) in routes.iter().enumerate() {
+                if remove_mask[i % remove_mask.len()] {
+                    let a = lin.remove(p);
+                    let b = trie.remove(p);
+                    let c = stride.remove(p);
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(a, c);
+                }
+            }
+            prop_assert_eq!(lin.len(), trie.len());
+            prop_assert_eq!(lin.len(), stride.len());
+            for &a in &probes {
+                let addr = Ipv4Addr(a);
+                let expect = lin.lookup(addr);
+                prop_assert_eq!(trie.lookup(addr), expect);
+                prop_assert_eq!(stride.lookup(addr), expect);
+            }
+        }
+    }
+}

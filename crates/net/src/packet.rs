@@ -1,0 +1,142 @@
+//! Simulation-level packets.
+//!
+//! The simulators track packet *metadata* — sizes, addresses, protocol
+//! tags, timestamps — not payload bytes; dependability and bandwidth
+//! metrics never look inside the payload, and carrying buffers would
+//! only slow the event loop down.
+
+use crate::addr::Ipv4Addr;
+use crate::protocol::ProtocolKind;
+
+/// Globally unique packet identity within one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u64);
+
+/// A linecard port index (linecard-local).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PortId(pub u16);
+
+/// One IP packet in flight through the router.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Unique identity, assigned by the generator.
+    pub id: PacketId,
+    /// Source address (used only for flow accounting).
+    pub src: Ipv4Addr,
+    /// Destination address — drives the FIB lookup.
+    pub dst: Ipv4Addr,
+    /// IP-layer length in bytes (header + payload), before any L2
+    /// encapsulation.
+    pub ip_bytes: u32,
+    /// The L2 protocol of the *ingress* link this packet arrived on.
+    pub ingress_protocol: ProtocolKind,
+    /// Simulation time the packet hit the ingress PIU.
+    pub arrived_at: f64,
+}
+
+impl Packet {
+    /// Minimum legal IP packet the simulators generate (a bare header).
+    pub const MIN_BYTES: u32 = 20;
+    /// Largest packet the generators produce (standard Ethernet MTU).
+    pub const MAX_BYTES: u32 = 1500;
+
+    /// Construct a packet, clamping the size into the legal range.
+    pub fn new(
+        id: PacketId,
+        src: Ipv4Addr,
+        dst: Ipv4Addr,
+        ip_bytes: u32,
+        ingress_protocol: ProtocolKind,
+        arrived_at: f64,
+    ) -> Self {
+        Packet {
+            id,
+            src,
+            dst,
+            ip_bytes: ip_bytes.clamp(Self::MIN_BYTES, Self::MAX_BYTES),
+            ingress_protocol,
+            arrived_at,
+        }
+    }
+
+    /// Serialization time of this packet at `rate_bps` (seconds).
+    #[inline]
+    pub fn wire_time(&self, rate_bps: f64) -> f64 {
+        debug_assert!(rate_bps > 0.0);
+        self.ip_bytes as f64 * 8.0 / rate_bps
+    }
+}
+
+/// Monotone packet-id allocator.
+#[derive(Debug, Default, Clone)]
+pub struct PacketIdGen(u64);
+
+impl PacketIdGen {
+    /// Fresh allocator starting at id 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocator starting at an arbitrary id — give each linecard a
+    /// disjoint range (e.g. `lc << 48`) so ids stay globally unique.
+    pub fn starting_at(first: u64) -> Self {
+        PacketIdGen(first)
+    }
+
+    /// Allocate the next id.
+    #[inline]
+    pub fn next_id(&mut self) -> PacketId {
+        let id = PacketId(self.0);
+        self.0 += 1;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u32) -> Ipv4Addr {
+        Ipv4Addr(n)
+    }
+
+    #[test]
+    fn size_is_clamped() {
+        let p = Packet::new(
+            PacketId(0),
+            addr(1),
+            addr(2),
+            5,
+            ProtocolKind::Ethernet,
+            0.0,
+        );
+        assert_eq!(p.ip_bytes, Packet::MIN_BYTES);
+        let p = Packet::new(
+            PacketId(0),
+            addr(1),
+            addr(2),
+            1_000_000,
+            ProtocolKind::Ethernet,
+            0.0,
+        );
+        assert_eq!(p.ip_bytes, Packet::MAX_BYTES);
+    }
+
+    #[test]
+    fn wire_time_scales_with_rate() {
+        let p = Packet::new(PacketId(0), addr(1), addr(2), 1000, ProtocolKind::Pos, 0.0);
+        let t10g = p.wire_time(10e9);
+        let t1g = p.wire_time(1e9);
+        assert!((t10g - 8e-7).abs() < 1e-15);
+        assert!((t1g / t10g - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn id_gen_is_monotone_and_unique() {
+        let mut g = PacketIdGen::new();
+        let a = g.next_id();
+        let b = g.next_id();
+        assert_ne!(a, b);
+        assert!(a < b);
+    }
+}

@@ -1,0 +1,343 @@
+//! Segmentation and reassembly (the SRU's data path).
+//!
+//! The crossbar fabric moves fixed-size cells, so the ingress SRU
+//! segments each packet and the egress SRU reassembles it — exactly the
+//! BDR/DRA structure in the paper (the EIB, by contrast, carries whole
+//! packets, which the paper lists as one of the bus's advantages).
+//!
+//! Cells are ATM-like: 48 payload bytes under a 5-byte header, plus a
+//! small internal tag. Only metadata travels in the simulator; the cell
+//! count and byte overheads are what the fabric timing needs.
+
+use crate::packet::{Packet, PacketId};
+use std::collections::HashMap;
+
+/// Payload bytes per fabric cell.
+pub const CELL_PAYLOAD: u32 = 48;
+/// Header bytes per fabric cell.
+pub const CELL_HEADER: u32 = 5;
+/// Total cell size on the fabric.
+pub const CELL_BYTES: u32 = CELL_PAYLOAD + CELL_HEADER;
+
+/// One fabric cell carrying a slice of a packet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Source linecard index.
+    pub src_lc: u16,
+    /// Destination linecard index.
+    pub dst_lc: u16,
+    /// The packet this cell belongs to.
+    pub packet: PacketId,
+    /// Cell sequence number within the packet, from 0.
+    pub seq: u16,
+    /// Total number of cells in the packet.
+    pub total: u16,
+    /// Payload bytes actually used (< CELL_PAYLOAD only in the last cell).
+    pub payload_bytes: u32,
+}
+
+impl Cell {
+    /// Is this the last cell of its packet?
+    #[inline]
+    pub fn is_last(&self) -> bool {
+        self.seq + 1 == self.total
+    }
+}
+
+/// Number of cells needed for a packet of `ip_bytes`.
+#[inline]
+pub fn cells_for(ip_bytes: u32) -> u16 {
+    ip_bytes.div_ceil(CELL_PAYLOAD).max(1) as u16
+}
+
+/// Segment a packet into fabric cells addressed `src_lc -> dst_lc`.
+pub fn segment(packet: &Packet, src_lc: u16, dst_lc: u16) -> Vec<Cell> {
+    let total = cells_for(packet.ip_bytes);
+    let mut remaining = packet.ip_bytes;
+    (0..total)
+        .map(|seq| {
+            let payload = remaining.min(CELL_PAYLOAD);
+            remaining -= payload;
+            Cell {
+                src_lc,
+                dst_lc,
+                packet: packet.id,
+                seq,
+                total,
+                payload_bytes: payload,
+            }
+        })
+        .collect()
+}
+
+/// Reassembly error causes, counted by the egress metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReassemblyError {
+    /// A cell arrived for a packet whose earlier cells disagree on the
+    /// total count (corruption or mis-routing).
+    InconsistentTotal,
+    /// The same (packet, seq) arrived twice.
+    DuplicateCell,
+    /// A cell's sequence number exceeds the advertised total.
+    SeqOutOfRange,
+}
+
+/// Per-packet reassembly state.
+#[derive(Debug)]
+struct Partial {
+    received: Vec<bool>,
+    count: u16,
+    bytes: u32,
+    first_seen_at: f64,
+}
+
+/// Egress-side reassembler keyed by (source linecard, packet id).
+///
+/// Tolerates arbitrary interleaving across packets and out-of-order
+/// cells within a packet. Stale partial packets (whose remaining cells
+/// were dropped upstream, e.g. by a failed linecard) are reclaimed by
+/// [`Reassembler::purge_older_than`].
+#[derive(Debug, Default)]
+pub struct Reassembler {
+    partials: HashMap<(u16, PacketId), Partial>,
+}
+
+impl Reassembler {
+    /// Empty reassembler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of packets currently partially assembled.
+    pub fn in_flight(&self) -> usize {
+        self.partials.len()
+    }
+
+    /// Accept one cell at simulation time `now`.
+    ///
+    /// Returns `Ok(Some((packet_id, bytes)))` when this cell completes
+    /// its packet, `Ok(None)` when more cells are pending.
+    pub fn push(
+        &mut self,
+        cell: &Cell,
+        now: f64,
+    ) -> Result<Option<(PacketId, u32)>, ReassemblyError> {
+        if cell.seq >= cell.total {
+            return Err(ReassemblyError::SeqOutOfRange);
+        }
+        let key = (cell.src_lc, cell.packet);
+        let partial = self.partials.entry(key).or_insert_with(|| Partial {
+            received: vec![false; cell.total as usize],
+            count: 0,
+            bytes: 0,
+            first_seen_at: now,
+        });
+        if partial.received.len() != cell.total as usize {
+            // Totals disagree: drop the whole partial, it is poisoned.
+            self.partials.remove(&key);
+            return Err(ReassemblyError::InconsistentTotal);
+        }
+        if partial.received[cell.seq as usize] {
+            return Err(ReassemblyError::DuplicateCell);
+        }
+        partial.received[cell.seq as usize] = true;
+        partial.count += 1;
+        partial.bytes += cell.payload_bytes;
+        if partial.count == cell.total {
+            let done = self.partials.remove(&key).expect("present");
+            Ok(Some((cell.packet, done.bytes)))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Drop partial packets first seen before `cutoff`; returns how many
+    /// were reclaimed (counted as reassembly-timeout losses).
+    pub fn purge_older_than(&mut self, cutoff: f64) -> usize {
+        let before = self.partials.len();
+        self.partials.retain(|_, p| p.first_seen_at >= cutoff);
+        before - self.partials.len()
+    }
+
+    /// Like [`Reassembler::purge_older_than`] but returns the purged
+    /// `(src_lc, packet_id)` keys so the caller can reconcile its own
+    /// in-flight bookkeeping.
+    pub fn purge_collect(&mut self, cutoff: f64) -> Vec<(u16, PacketId)> {
+        let stale: Vec<(u16, PacketId)> = self
+            .partials
+            .iter()
+            .filter(|(_, p)| p.first_seen_at < cutoff)
+            .map(|(&k, _)| k)
+            .collect();
+        for k in &stale {
+            self.partials.remove(k);
+        }
+        stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::Ipv4Addr;
+    use crate::protocol::ProtocolKind;
+    use proptest::prelude::*;
+
+    fn packet(id: u64, bytes: u32) -> Packet {
+        Packet::new(
+            PacketId(id),
+            Ipv4Addr(1),
+            Ipv4Addr(2),
+            bytes,
+            ProtocolKind::Ethernet,
+            0.0,
+        )
+    }
+
+    #[test]
+    fn cell_count_boundaries() {
+        assert_eq!(cells_for(1), 1);
+        assert_eq!(cells_for(48), 1);
+        assert_eq!(cells_for(49), 2);
+        assert_eq!(cells_for(96), 2);
+        assert_eq!(cells_for(1500), 32);
+    }
+
+    #[test]
+    fn segment_preserves_bytes_and_order() {
+        let p = packet(7, 100);
+        let cells = segment(&p, 0, 3);
+        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.iter().map(|c| c.payload_bytes).sum::<u32>(), 100);
+        assert_eq!(cells[0].payload_bytes, 48);
+        assert_eq!(cells[2].payload_bytes, 4);
+        assert!(cells[2].is_last());
+        assert!(!cells[0].is_last());
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.seq as usize, i);
+            assert_eq!(c.total, 3);
+            assert_eq!((c.src_lc, c.dst_lc), (0, 3));
+        }
+    }
+
+    #[test]
+    fn reassembly_in_order() {
+        let p = packet(1, 120);
+        let cells = segment(&p, 0, 1);
+        let mut r = Reassembler::new();
+        for (i, c) in cells.iter().enumerate() {
+            let out = r.push(c, 0.0).unwrap();
+            if i + 1 == cells.len() {
+                assert_eq!(out, Some((PacketId(1), 120)));
+            } else {
+                assert_eq!(out, None);
+            }
+        }
+        assert_eq!(r.in_flight(), 0);
+    }
+
+    #[test]
+    fn reassembly_out_of_order_and_interleaved() {
+        let pa = packet(1, 100);
+        let pb = packet(2, 100);
+        let ca = segment(&pa, 0, 1);
+        let cb = segment(&pb, 3, 1);
+        let mut r = Reassembler::new();
+        // Interleave, reversed within each packet.
+        assert_eq!(r.push(&ca[2], 0.0).unwrap(), None);
+        assert_eq!(r.push(&cb[2], 0.0).unwrap(), None);
+        assert_eq!(r.push(&ca[1], 0.0).unwrap(), None);
+        assert_eq!(r.push(&cb[1], 0.0).unwrap(), None);
+        assert_eq!(r.in_flight(), 2);
+        assert_eq!(r.push(&ca[0], 0.0).unwrap(), Some((PacketId(1), 100)));
+        assert_eq!(r.push(&cb[0], 0.0).unwrap(), Some((PacketId(2), 100)));
+    }
+
+    #[test]
+    fn same_packet_id_from_different_sources_kept_apart() {
+        let p = packet(9, 60);
+        let from0 = segment(&p, 0, 1);
+        let from1 = segment(&p, 1, 1);
+        let mut r = Reassembler::new();
+        assert_eq!(r.push(&from0[0], 0.0).unwrap(), None);
+        assert_eq!(r.push(&from1[0], 0.0).unwrap(), None);
+        assert_eq!(r.in_flight(), 2);
+    }
+
+    #[test]
+    fn duplicate_cell_rejected() {
+        let p = packet(1, 100);
+        let cells = segment(&p, 0, 1);
+        let mut r = Reassembler::new();
+        r.push(&cells[0], 0.0).unwrap();
+        assert_eq!(r.push(&cells[0], 0.0), Err(ReassemblyError::DuplicateCell));
+    }
+
+    #[test]
+    fn inconsistent_total_poisons_partial() {
+        let p = packet(1, 100);
+        let cells = segment(&p, 0, 1);
+        let mut r = Reassembler::new();
+        r.push(&cells[0], 0.0).unwrap();
+        let mut bad = cells[1].clone();
+        bad.total = 9;
+        assert_eq!(r.push(&bad, 0.0), Err(ReassemblyError::InconsistentTotal));
+        assert_eq!(r.in_flight(), 0, "poisoned partial must be dropped");
+    }
+
+    #[test]
+    fn seq_out_of_range_rejected() {
+        let p = packet(1, 100);
+        let mut bad = segment(&p, 0, 1)[0].clone();
+        bad.seq = bad.total;
+        let mut r = Reassembler::new();
+        assert_eq!(r.push(&bad, 0.0), Err(ReassemblyError::SeqOutOfRange));
+    }
+
+    #[test]
+    fn purge_reclaims_stale_partials() {
+        let pa = packet(1, 100);
+        let pb = packet(2, 100);
+        let mut r = Reassembler::new();
+        r.push(&segment(&pa, 0, 1)[0], 1.0).unwrap();
+        r.push(&segment(&pb, 0, 1)[0], 5.0).unwrap();
+        assert_eq!(r.purge_older_than(2.0), 1);
+        assert_eq!(r.in_flight(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn any_permutation_reassembles(bytes in 20u32..1500, seed in 0u64..1000) {
+            let p = packet(1, bytes);
+            let mut cells = segment(&p, 0, 1);
+            // Deterministic shuffle.
+            let mut s = seed | 1;
+            for i in (1..cells.len()).rev() {
+                s ^= s << 13; s ^= s >> 7; s ^= s << 17;
+                cells.swap(i, (s as usize) % (i + 1));
+            }
+            let mut r = Reassembler::new();
+            let mut done = None;
+            for c in &cells {
+                if let Some(d) = r.push(c, 0.0).unwrap() {
+                    done = Some(d);
+                }
+            }
+            prop_assert_eq!(done, Some((PacketId(1), bytes.clamp(20, 1500))));
+            prop_assert_eq!(r.in_flight(), 0);
+        }
+
+        #[test]
+        fn segmentation_byte_conservation(bytes in 20u32..1500) {
+            let p = packet(1, bytes);
+            let cells = segment(&p, 2, 4);
+            let total: u32 = cells.iter().map(|c| c.payload_bytes).sum();
+            prop_assert_eq!(total, p.ip_bytes);
+            prop_assert_eq!(cells.len(), cells_for(p.ip_bytes) as usize);
+            // All but the last cell are full.
+            for c in &cells[..cells.len() - 1] {
+                prop_assert_eq!(c.payload_bytes, CELL_PAYLOAD);
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! Trace serialization: write [`crate::traffic::Arrival`] sequences to
+//! CSV and read them back.
+//!
+//! The substitution rule for the paper's unavailable production traces
+//! (DESIGN.md §2) is synthetic generation; serializing those traces
+//! lets an experiment pin its exact input — re-running months later,
+//! or on another machine, replays byte-identical traffic without
+//! trusting RNG-version stability.
+//!
+//! Format: a header line, then `dt_seconds,ip_bytes,dst_ipv4` rows
+//! (`dst` in dotted-quad form). Hand-rolled on purpose: three columns
+//! do not justify a serde dependency.
+
+use crate::addr::Ipv4Addr;
+use crate::traffic::Arrival;
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+/// The header written to (and required from) every trace file.
+pub const HEADER: &str = "dt_s,ip_bytes,dst";
+
+/// Errors from trace parsing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The first line was not the expected header.
+    BadHeader(String),
+    /// A data row failed to parse.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader(h) => write!(f, "bad trace header {h:?} (want {HEADER:?})"),
+            TraceError::BadRow { line, reason } => write!(f, "trace line {line}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Render a trace as CSV text.
+pub fn to_csv(trace: &[Arrival]) -> String {
+    let mut out = String::with_capacity(trace.len() * 24 + HEADER.len() + 1);
+    out.push_str(HEADER);
+    out.push('\n');
+    for a in trace {
+        // 17 significant digits round-trip any f64 exactly.
+        let _ = writeln!(out, "{:.17e},{},{}", a.dt, a.ip_bytes, a.dst);
+    }
+    out
+}
+
+/// Parse a trace from CSV text (as produced by [`to_csv`]).
+pub fn from_csv(text: &str) -> Result<Vec<Arrival>, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, h)) if h.trim() == HEADER => {}
+        Some((_, h)) => return Err(TraceError::BadHeader(h.to_string())),
+        None => return Err(TraceError::BadHeader(String::new())),
+    }
+    let mut out = Vec::new();
+    for (idx, line) in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split(',');
+        let (dt_s, bytes_s, dst_s) = match (parts.next(), parts.next(), parts.next(), parts.next())
+        {
+            (Some(a), Some(b), Some(c), None) => (a, b, c),
+            _ => {
+                return Err(TraceError::BadRow {
+                    line: idx + 1,
+                    reason: "expected exactly three fields".into(),
+                })
+            }
+        };
+        let dt: f64 = dt_s.parse().map_err(|_| TraceError::BadRow {
+            line: idx + 1,
+            reason: format!("bad dt {dt_s:?}"),
+        })?;
+        if !dt.is_finite() || dt < 0.0 {
+            return Err(TraceError::BadRow {
+                line: idx + 1,
+                reason: format!("dt out of range: {dt}"),
+            });
+        }
+        let ip_bytes: u32 = bytes_s.parse().map_err(|_| TraceError::BadRow {
+            line: idx + 1,
+            reason: format!("bad size {bytes_s:?}"),
+        })?;
+        let dst = Ipv4Addr::from_str(dst_s).map_err(|_| TraceError::BadRow {
+            line: idx + 1,
+            reason: format!("bad address {dst_s:?}"),
+        })?;
+        out.push(Arrival { dt, ip_bytes, dst });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::synthesize_trace;
+
+    fn bases() -> Vec<Ipv4Addr> {
+        vec![Ipv4Addr::from_octets(10, 0, 0, 0)]
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let trace = synthesize_trace(500, 1.5e9, &bases(), 0xCAFE);
+        let csv = to_csv(&trace);
+        let back = from_csv(&csv).unwrap();
+        assert_eq!(trace, back, "f64 round-trip must be bit-exact");
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let csv = to_csv(&[]);
+        assert_eq!(csv.trim(), HEADER);
+        assert_eq!(from_csv(&csv).unwrap(), Vec::new());
+    }
+
+    #[test]
+    fn header_is_enforced() {
+        assert!(matches!(
+            from_csv("nope\n1,2,3.4.5.6"),
+            Err(TraceError::BadHeader(_))
+        ));
+        assert!(matches!(from_csv(""), Err(TraceError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_rows_are_located() {
+        let text = format!("{HEADER}\n1.0e0,100,10.0.0.1\nbogus,100,10.0.0.1");
+        match from_csv(&text) {
+            Err(TraceError::BadRow { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected BadRow, got {other:?}"),
+        }
+        // Wrong field count.
+        let text = format!("{HEADER}\n1.0e0,100");
+        assert!(matches!(from_csv(&text), Err(TraceError::BadRow { .. })));
+        // Negative dt.
+        let text = format!("{HEADER}\n-1.0e0,100,10.0.0.1");
+        assert!(matches!(from_csv(&text), Err(TraceError::BadRow { .. })));
+        // Bad address.
+        let text = format!("{HEADER}\n1.0e0,100,10.0.0");
+        assert!(matches!(from_csv(&text), Err(TraceError::BadRow { .. })));
+    }
+
+    #[test]
+    fn blank_lines_are_tolerated() {
+        let text = format!("{HEADER}\n1.0e0,100,10.0.0.1\n\n2.0e0,200,10.0.0.2\n");
+        let t = from_csv(&text).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t[1].ip_bytes, 200);
+    }
+
+    #[test]
+    fn replayed_trace_drives_the_generator() {
+        use crate::traffic::{TraceGen, TrafficGen};
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let trace = synthesize_trace(50, 1e9, &bases(), 7);
+        let csv = to_csv(&trace);
+        let loaded = from_csv(&csv).unwrap();
+        let mut gen = TraceGen::new(loaded).unwrap();
+        let mut rng = SmallRng::seed_from_u64(0);
+        for expect in &trace {
+            assert_eq!(&gen.next_arrival(&mut rng), expect);
+        }
+    }
+}

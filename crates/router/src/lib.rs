@@ -1,0 +1,40 @@
+//! # dra-router
+//!
+//! The **BDR** (basic distributed router) baseline of the paper's
+//! Figure 1, as a packet-level discrete-event simulation, plus all the
+//! machinery the DRA architecture reuses:
+//!
+//! * [`components`] — linecard functional units (PIU, PDLU, SRU, LFE,
+//!   bus controller), their health, and the paper's failure rates.
+//! * [`fabric`] — a cell-slotted crossbar with virtual output queues,
+//!   an iSLIP-style iterative scheduler, and redundant switching
+//!   planes (the paper's Case-1 fault tolerance).
+//! * [`linecard`] — per-linecard state: protocol engine, FIB,
+//!   reassembler, port rate.
+//! * [`metrics`] — offered/delivered/drop accounting, latency, and
+//!   time-weighted per-linecard availability.
+//! * [`faults`] — exponential component-failure injection with a
+//!   repair process (hot-swap semantics: repair restores the whole
+//!   linecard).
+//! * [`rp`] — the route processor and the internal bus's maintenance
+//!   functions: versioned RIB with incremental FIB distribution, card
+//!   discovery, health polling.
+//! * [`bdr`] — the BDR router model itself: under any linecard
+//!   component failure, that linecard's traffic is lost until repair —
+//!   exactly the behaviour DRA is designed to fix.
+
+#![warn(missing_docs)]
+
+pub mod bdr;
+pub mod components;
+pub mod fabric;
+pub mod faults;
+pub mod linecard;
+pub mod metrics;
+pub mod rp;
+
+pub use bdr::{BdrConfig, BdrRouter};
+pub use components::{ComponentKind, FailureRates, Health, LcComponents};
+pub use fabric::Crossbar;
+pub use linecard::Linecard;
+pub use metrics::{DropCause, LcMetrics, RouterMetrics};

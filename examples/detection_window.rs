@@ -1,0 +1,74 @@
+//! The cost of fault-detection latency — an effect the paper's Markov
+//! analysis abstracts away entirely.
+//!
+//! ```sh
+//! cargo run --release --example detection_window
+//! ```
+//!
+//! DRA's coverage depends on every card knowing where the faults are
+//! ("all LC's store information about the location of faults …
+//! achieved through the exchange of control packets over the EIB",
+//! §3.1). Those control packets take time. This example sweeps the
+//! dissemination delay and measures how many packets die on stale
+//! views after an SRU failure — turning the paper's instantaneous
+//! fault table into a provisioning number.
+
+use dra::core::sim::{DraConfig, DraRouter, EibConfig};
+use dra::router::bdr::BdrConfig;
+use dra::router::components::ComponentKind;
+use dra::router::metrics::DropCause;
+
+fn run(gossip_delay_s: f64) -> (u64, u64, f64) {
+    let mut sim = DraRouter::simulation(
+        DraConfig {
+            router: BdrConfig {
+                n_lcs: 6,
+                load: 0.3,
+                ..BdrConfig::default()
+            },
+            eib: EibConfig {
+                gossip_delay_s,
+                ..EibConfig::default()
+            },
+        },
+        4242,
+    );
+    sim.run_until(1e-3);
+    let now = sim.now();
+    sim.model_mut()
+        .fail_component_now(2, ComponentKind::Sru, now);
+    sim.run_until(6e-3);
+    let m = &sim.model().metrics;
+    let window_drops: u64 = m
+        .lcs
+        .iter()
+        .map(|l| l.drops(DropCause::EgressDown) + l.drops(DropCause::ReassemblyTimeout))
+        .sum();
+    let covered: u64 = m.lcs.iter().map(|l| l.covered_packets).sum();
+    (window_drops, covered, m.byte_delivery_ratio())
+}
+
+fn main() {
+    println!("Fault-dissemination delay vs packet loss");
+    println!("(6 cards, 30% load, LC2's SRU fails at t = 1 ms, run to 6 ms)\n");
+    println!(
+        "{:>14} {:>14} {:>12} {:>12}",
+        "gossip delay", "window drops", "covered", "delivery"
+    );
+    for &delay in &[0.0, 50e-6, 200e-6, 500e-6, 1e-3, 2e-3] {
+        let (drops, covered, ratio) = run(delay);
+        println!(
+            "{:>11.0} us {:>14} {:>12} {:>11.2}%",
+            delay * 1e6,
+            drops,
+            covered,
+            ratio * 100.0
+        );
+    }
+    println!("\nReading: losses scale linearly with the detection window (the");
+    println!("failed card's peers keep switching cells to a dead SRU until the");
+    println!("fault table converges). At 30% load each millisecond of delay");
+    println!("costs roughly a millisecond of one card's egress traffic — the");
+    println!("EIB's control plane must treat fault announcements as its");
+    println!("highest-priority traffic.");
+}

@@ -1,0 +1,91 @@
+//! Stochastic fault-injection campaign on the packet-level simulators.
+//!
+//! ```sh
+//! cargo run --release --example fault_injection
+//! ```
+//!
+//! Runs BDR and DRA side by side under accelerated random component
+//! failures (same seed ⇒ byte-identical offered traffic;
+//! statistically identical failure processes) and compares delivery,
+//! coverage, and measured per-card availability. This is the
+//! experiment the paper could not run: its evaluation was Markov
+//! models only.
+
+use dra::core::sim::{DraConfig, DraRouter};
+use dra::router::bdr::{BdrConfig, BdrRouter};
+use dra::router::faults::{FaultGranularity, FaultInjector};
+use dra::router::metrics::{DropCause, RouterMetrics};
+
+fn report(name: &str, m: &RouterMetrics, horizon: f64) {
+    let avail: Vec<f64> = m
+        .lcs
+        .iter()
+        .map(|l| l.availability.average(horizon))
+        .collect();
+    let mean_avail = avail.iter().sum::<f64>() / avail.len() as f64;
+    println!("\n--- {name} ---");
+    println!(
+        "  delivered {:.2} MB of {:.2} MB offered ({:.2}%)",
+        m.total_delivered_bytes() as f64 / 1e6,
+        m.total_offered_bytes() as f64 / 1e6,
+        100.0 * m.byte_delivery_ratio()
+    );
+    for cause in DropCause::ALL {
+        let d = m.total_drops(cause);
+        if d > 0 {
+            println!("  drops[{cause}] = {d}");
+        }
+    }
+    let covered: u64 = m.lcs.iter().map(|l| l.covered_packets).sum();
+    if covered > 0 {
+        println!("  covered packets (via EIB) = {covered}");
+    }
+    println!("  mean measured LC availability = {mean_avail:.4}");
+}
+
+fn main() {
+    // Accelerate dependably: inflate the paper's failure rates x1000
+    // (MTTF 50000 h -> 50 h) while keeping the 3 h repair, then map
+    // hours to milliseconds of simulated time. A 40 ms run now sees
+    // several failure/repair cycles per card with ~6% downtime each.
+    let mut injector = FaultInjector::new(3.0, FaultGranularity::PerComponent);
+    injector.rates = dra::core::montecarlo::inflated_rates(1000.0);
+    let scale = 4e-3 / 50.0;
+    let horizon = 40e-3;
+    let seed = 2026;
+
+    let base = BdrConfig {
+        n_lcs: 6,
+        load: 0.25,
+        faults: Some(FaultInjector {
+            granularity: FaultGranularity::WholeLc,
+            ..injector.clone()
+        }),
+        fault_delay_scale: scale,
+        ..BdrConfig::default()
+    };
+
+    println!(
+        "Fault-injection campaign: 6 cards, 25% load, {:.0} ms horizon,",
+        horizon * 1e3
+    );
+    println!("inflated failures (LC MTTF ≈ 4 ms), repairs ≈ 0.24 ms.");
+
+    let mut bdr = BdrRouter::simulation(base.clone(), seed);
+    bdr.run_until(horizon);
+    report("BDR baseline", &bdr.model().metrics, horizon);
+
+    let mut dra_cfg = DraConfig {
+        router: base,
+        ..Default::default()
+    };
+    dra_cfg.router.faults = Some(injector);
+    let mut dra = DraRouter::simulation(dra_cfg, seed);
+    dra.run_until(horizon);
+    report("DRA", &dra.model().metrics, horizon);
+
+    println!("\nReading: under the same offered traffic, DRA converts most of");
+    println!("BDR's ingress/egress-down losses into covered deliveries; its");
+    println!("measured availability only dips when the EIB itself (or a PIU)");
+    println!("is down, or no same-protocol peer remains.");
+}

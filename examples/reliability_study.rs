@@ -1,0 +1,71 @@
+//! Reliability engineering study: how many covering cards does a
+//! deployment actually need?
+//!
+//! ```sh
+//! cargo run --release --example reliability_study
+//! ```
+//!
+//! Sweeps N (router size) and M (same-protocol population), reporting
+//! R(t) at three mission times plus the MTTF, and shows the paper's
+//! diminishing-returns effect: a single covering card captures most of
+//! the benefit.
+
+use dra::core::analysis::reliability::{
+    bdr_reliability_model, dra_model, reliability_curve, DraParams,
+};
+use dra::markov::absorbing;
+use dra::router::components::FailureRates;
+
+fn main() {
+    let times = [10_000.0, 40_000.0, 80_000.0];
+
+    println!("LC reliability and MTTF (paper rates, Literal T' semantics)\n");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>14}",
+        "configuration", "R(10kh)", "R(40kh)", "R(80kh)", "MTTF (h)"
+    );
+
+    // Baseline.
+    let bdr = bdr_reliability_model(&FailureRates::PAPER, None);
+    let r = reliability_curve(&bdr.chain, bdr.start, bdr.failed, &times);
+    let mttf = absorbing::analyze(&bdr.chain)
+        .expect("BDR model has an absorbing state")
+        .mtta_from(bdr.start)
+        .expect("start is transient");
+    println!(
+        "{:<16} {:>10.4} {:>10.4} {:>10.4} {:>14.0}",
+        "BDR", r[0], r[1], r[2], mttf
+    );
+
+    for (n, m) in [
+        (3, 2),
+        (4, 2),
+        (6, 2),
+        (6, 3),
+        (6, 6),
+        (9, 2),
+        (9, 4),
+        (9, 8),
+    ] {
+        let model = dra_model(&DraParams::new(n, m));
+        let r = reliability_curve(&model.chain, model.start, model.failed, &times);
+        let mttf = absorbing::analyze(&model.chain)
+            .expect("reliability model has F absorbing")
+            .mtta_from(model.start)
+            .expect("start is transient");
+        println!(
+            "{:<16} {:>10.4} {:>10.4} {:>10.4} {:>14.0}",
+            format!("DRA N={n} M={m}"),
+            r[0],
+            r[1],
+            r[2],
+            mttf
+        );
+    }
+
+    println!("\nObservations (matching §5.1 of the paper):");
+    println!(" * a single covering card (N=3, M=2) already multiplies the MTTF;");
+    println!(" * growing N helps more than growing M — the PI units dominate");
+    println!("   because they fail more often (1.4e-5/h vs 6e-6/h);");
+    println!(" * beyond roughly four same-protocol cards the curves coincide.");
+}

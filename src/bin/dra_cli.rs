@@ -1,0 +1,423 @@
+//! `dra-cli` — command-line front end to the DRA reproduction.
+//!
+//! ```text
+//! dra-cli reliability  --n 9 --m 4 --t 40000
+//! dra-cli availability --n 9 --m 4 --repair-hours 3
+//! dra-cli mttf         --n 6 --m 3
+//! dra-cli degradation  --n 6 --load 0.5 [--bus-gbps 40]
+//! dra-cli simulate     --n 6 --load 0.3 --horizon-ms 5 --fail 0:sru:1 [--bdr]
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs only) to keep
+//! the dependency set identical to the library's.
+
+use dra::core::analysis::availability::{bdr_availability, dra_availability};
+use dra::core::analysis::degradation::{figure8_series, DegradationParams};
+use dra::core::analysis::nines::format_nines;
+use dra::core::analysis::reliability::{
+    bdr_reliability_model, dra_model, reliability_curve, DraParams,
+};
+use dra::core::sim::{DraConfig, DraRouter};
+use dra::router::bdr::{BdrConfig, BdrRouter};
+use dra::router::components::{ComponentKind, FailureRates};
+use dra::router::metrics::{DropCause, RouterMetrics};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Minimal `--key value` argument map.
+#[derive(Debug)]
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let key = raw[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got {:?}", raw[i]))?
+                .to_string();
+            if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                values.insert(key, raw[i + 1].clone());
+                i += 2;
+            } else {
+                flags.push(key);
+                i += 1;
+            }
+        }
+        Ok(Args { values, flags })
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse {v:?}")),
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn parse_component(s: &str) -> Result<ComponentKind, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "piu" => Ok(ComponentKind::Piu),
+        "pdlu" => Ok(ComponentKind::Pdlu),
+        "sru" => Ok(ComponentKind::Sru),
+        "lfe" => Ok(ComponentKind::Lfe),
+        "bc" | "buscontroller" => Ok(ComponentKind::BusController),
+        other => Err(format!("unknown component {other:?} (piu/pdlu/sru/lfe/bc)")),
+    }
+}
+
+/// A `--fail lc:component:at_ms` specification.
+fn parse_fail(spec: &str) -> Result<(u16, ComponentKind, f64), String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    if parts.len() != 3 {
+        return Err(format!("--fail wants lc:component:at_ms, got {spec:?}"));
+    }
+    let lc: u16 = parts[0]
+        .parse()
+        .map_err(|_| format!("bad linecard index {:?}", parts[0]))?;
+    let kind = parse_component(parts[1])?;
+    let at_ms: f64 = parts[2]
+        .parse()
+        .map_err(|_| format!("bad time {:?}", parts[2]))?;
+    Ok((lc, kind, at_ms))
+}
+
+fn cmd_reliability(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 9)?;
+    let m: usize = args.get("m", 4)?;
+    let t: f64 = args.get("t", 40_000.0)?;
+    let model = dra_model(&DraParams::new(n, m));
+    let r = reliability_curve(&model.chain, model.start, model.failed, &[t])[0];
+    let bdr = bdr_reliability_model(&FailureRates::PAPER, None);
+    let rb = reliability_curve(&bdr.chain, bdr.start, bdr.failed, &[t])[0];
+    println!("R_DRA(N={n}, M={m}, t={t}h) = {r:.6}");
+    println!("R_BDR(t={t}h)              = {rb:.6}");
+    Ok(())
+}
+
+fn cmd_availability(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 9)?;
+    let m: usize = args.get("m", 4)?;
+    let hours: f64 = args.get("repair-hours", 3.0)?;
+    if hours <= 0.0 {
+        return Err("--repair-hours must be positive".into());
+    }
+    let mu = 1.0 / hours;
+    let a = dra_availability(&DraParams::new(n, m), mu);
+    let ab = bdr_availability(&FailureRates::PAPER, mu);
+    println!(
+        "A_DRA(N={n}, M={m}, repair={hours}h) = {} ({a:.12})",
+        format_nines(a)
+    );
+    println!(
+        "A_BDR(repair={hours}h)              = {} ({ab:.12})",
+        format_nines(ab)
+    );
+    Ok(())
+}
+
+fn cmd_mttf(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 6)?;
+    let m: usize = args.get("m", 3)?;
+    let model = dra_model(&DraParams::new(n, m));
+    let analysis = dra::markov::absorbing::analyze(&model.chain)
+        .map_err(|e| format!("absorbing analysis failed: {e}"))?;
+    let mttf = analysis
+        .mtta_from(model.start)
+        .ok_or("start state is not transient")?;
+    println!("MTTF_DRA(N={n}, M={m}) = {mttf:.0} h");
+    println!(
+        "MTTF_BDR              = {:.0} h",
+        1.0 / FailureRates::PAPER.lc
+    );
+    Ok(())
+}
+
+fn cmd_degradation(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 6)?;
+    let load: f64 = args.get("load", 0.5)?;
+    let bus_gbps: f64 = args.get("bus-gbps", 40.0)?;
+    if !(0.0..=1.0).contains(&load) || load == 0.0 {
+        return Err("--load must be in (0, 1]".into());
+    }
+    let p = DegradationParams {
+        n,
+        c_lc_bps: 10e9,
+        load,
+        bus_capacity_bps: bus_gbps * 1e9,
+    };
+    println!(
+        "B_faulty (% of required) for N={n}, L={:.0}%:",
+        load * 100.0
+    );
+    for (x, pct) in figure8_series(&p) {
+        println!("  X_faulty={x}: {pct:.1}%");
+    }
+    Ok(())
+}
+
+fn print_sim_report(m: &RouterMetrics, horizon: f64) {
+    println!(
+        "delivered {:.3} MB of {:.3} MB offered ({:.2}%)",
+        m.total_delivered_bytes() as f64 / 1e6,
+        m.total_offered_bytes() as f64 / 1e6,
+        100.0 * m.byte_delivery_ratio()
+    );
+    for cause in DropCause::ALL {
+        let d = m.total_drops(cause);
+        if d > 0 {
+            println!("  drops[{cause}] = {d}");
+        }
+    }
+    let covered: u64 = m.lcs.iter().map(|l| l.covered_packets).sum();
+    if covered > 0 {
+        println!("  covered via EIB = {covered} packets");
+    }
+    for (i, lc) in m.lcs.iter().enumerate() {
+        println!(
+            "  LC{i}: offered={} delivered={} avail={:.4}",
+            lc.offered_packets,
+            lc.delivered_packets,
+            lc.availability.average(horizon)
+        );
+    }
+}
+
+fn cmd_plan(args: &Args) -> Result<(), String> {
+    use dra::core::analysis::planner::{
+        max_load_for_full_coverage, max_repair_hours_for_availability, min_m_for_availability,
+    };
+    let n: usize = args.get("n", 8)?;
+    let target: usize = args.get("target-nines", 8)?;
+    let hours: f64 = args.get("repair-hours", 3.0)?;
+    if n < 3 || hours <= 0.0 || target == 0 {
+        return Err("need --n >= 3, --repair-hours > 0, --target-nines >= 1".into());
+    }
+    let mu = 1.0 / hours;
+    println!("Plan for N={n}, repair={hours}h, target {target} nines:");
+    match min_m_for_availability(n, mu, target) {
+        Some(m) => println!("  minimum same-protocol population M = {m}"),
+        None => println!("  unreachable even with M = N = {n} at this repair speed"),
+    }
+    match max_repair_hours_for_availability(n, 2.min(n), target) {
+        Some(h) => println!("  slowest repair at M=2 that still works: {h:.1} h"),
+        None => println!("  M=2 cannot reach the target at any repair speed >= 30 min"),
+    }
+    println!("  full-coverage load headroom:");
+    for x in 1..n.min(5) {
+        println!(
+            "    survive {x} simultaneous card failure(s) at full service up to L = {:.0}%",
+            100.0 * max_load_for_full_coverage(n, x)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), String> {
+    let n: usize = args.get("n", 6)?;
+    let load: f64 = args.get("load", 0.3)?;
+    let horizon_ms: f64 = args.get("horizon-ms", 5.0)?;
+    let seed: u64 = args.get("seed", 42)?;
+    let fails: Vec<(u16, ComponentKind, f64)> = args
+        .values
+        .get("fail")
+        .map(|s| s.split(',').map(parse_fail).collect::<Result<_, _>>())
+        .transpose()?
+        .unwrap_or_default();
+    for &(lc, _, at) in &fails {
+        if lc as usize >= n {
+            return Err(format!("--fail: linecard {lc} out of range (N={n})"));
+        }
+        if at < 0.0 || at > horizon_ms {
+            return Err(format!("--fail: time {at} ms outside the horizon"));
+        }
+    }
+    let horizon = horizon_ms * 1e-3;
+    let base = BdrConfig {
+        n_lcs: n,
+        load,
+        ..BdrConfig::default()
+    };
+
+    // Run the scripted scenario: advance to each failure time in order.
+    let mut ordered = fails.clone();
+    ordered.sort_by(|a, b| a.2.partial_cmp(&b.2).expect("finite times"));
+
+    if args.flag("bdr") {
+        let mut sim = BdrRouter::simulation(base, seed);
+        for (lc, kind, at_ms) in ordered {
+            sim.run_until(at_ms * 1e-3);
+            let now = sim.now();
+            sim.model_mut().fail_component_now(lc, kind, now);
+            println!("t={at_ms} ms: failed LC{lc} {kind}");
+        }
+        sim.run_until(horizon);
+        println!("-- BDR --");
+        print_sim_report(&sim.model().metrics, horizon);
+    } else {
+        let mut sim = DraRouter::simulation(
+            DraConfig {
+                router: base,
+                ..Default::default()
+            },
+            seed,
+        );
+        for (lc, kind, at_ms) in ordered {
+            sim.run_until(at_ms * 1e-3);
+            let now = sim.now();
+            sim.model_mut().fail_component_now(lc, kind, now);
+            println!("t={at_ms} ms: failed LC{lc} {kind}");
+        }
+        sim.run_until(horizon);
+        println!("-- DRA --");
+        print_sim_report(&sim.model().metrics, horizon);
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: dra-cli <command> [--options]
+commands:
+  reliability  --n N --m M --t HOURS
+  availability --n N --m M --repair-hours H
+  mttf         --n N --m M
+  degradation  --n N --load L [--bus-gbps G]
+  plan         --n N --target-nines K --repair-hours H
+  simulate     --n N --load L --horizon-ms MS [--seed S] [--bdr]
+               [--fail lc:piu|pdlu|sru|lfe|bc:at_ms[,lc:comp:ms...]]";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let args = match Args::parse(&raw[1..]) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command.as_str() {
+        "reliability" => cmd_reliability(&args),
+        "availability" => cmd_availability(&args),
+        "mttf" => cmd_mttf(&args),
+        "degradation" => cmd_degradation(&args),
+        "plan" => cmd_plan(&args),
+        "simulate" => cmd_simulate(&args),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Args {
+        Args::parse(&s.iter().map(|x| x.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn parse_key_values_and_flags() {
+        let a = args(&["--n", "9", "--bdr", "--load", "0.5"]);
+        assert_eq!(a.get::<usize>("n", 0).unwrap(), 9);
+        assert_eq!(a.get::<f64>("load", 0.0).unwrap(), 0.5);
+        assert_eq!(a.get::<u64>("seed", 7).unwrap(), 7, "default applies");
+        assert!(a.flag("bdr"));
+        assert!(!a.flag("quick"));
+    }
+
+    #[test]
+    fn parse_rejects_bare_words() {
+        assert!(Args::parse(&["n".to_string()]).is_err());
+    }
+
+    #[test]
+    fn parse_rejects_bad_numbers() {
+        let a = args(&["--n", "lots"]);
+        assert!(a.get::<usize>("n", 0).is_err());
+    }
+
+    #[test]
+    fn fail_spec_round_trip() {
+        let (lc, kind, at) = parse_fail("3:sru:1.5").unwrap();
+        assert_eq!((lc, kind, at), (3, ComponentKind::Sru, 1.5));
+        assert!(parse_fail("3:sru").is_err());
+        assert!(parse_fail("x:sru:1").is_err());
+        assert!(parse_fail("3:cpu:1").is_err());
+        assert!(parse_fail("3:sru:soon").is_err());
+    }
+
+    #[test]
+    fn component_names() {
+        assert_eq!(parse_component("PDLU").unwrap(), ComponentKind::Pdlu);
+        assert_eq!(parse_component("bc").unwrap(), ComponentKind::BusController);
+        assert!(parse_component("fan").is_err());
+    }
+
+    #[test]
+    fn commands_run_end_to_end() {
+        // Exercise each command body with small inputs.
+        cmd_reliability(&args(&["--n", "4", "--m", "2", "--t", "1000"])).unwrap();
+        cmd_availability(&args(&["--n", "4", "--m", "2", "--repair-hours", "3"])).unwrap();
+        cmd_mttf(&args(&["--n", "4", "--m", "2"])).unwrap();
+        cmd_degradation(&args(&["--n", "4", "--load", "0.5"])).unwrap();
+        cmd_plan(&args(&[
+            "--n",
+            "4",
+            "--target-nines",
+            "7",
+            "--repair-hours",
+            "3",
+        ]))
+        .unwrap();
+        cmd_simulate(&args(&[
+            "--n",
+            "3",
+            "--load",
+            "0.1",
+            "--horizon-ms",
+            "1",
+            "--fail",
+            "0:lfe:0.3",
+        ]))
+        .unwrap();
+        // The BDR flag routes to the baseline simulator.
+        cmd_simulate(&args(&[
+            "--n",
+            "3",
+            "--load",
+            "0.1",
+            "--horizon-ms",
+            "1",
+            "--bdr",
+            "--fail",
+            "0:sru:0.3,1:lfe:0.5",
+        ]))
+        .unwrap();
+    }
+
+    #[test]
+    fn simulate_validates_fail_specs() {
+        assert!(cmd_simulate(&args(&["--n", "3", "--fail", "9:sru:1"])).is_err());
+        assert!(cmd_simulate(&args(&["--n", "3", "--fail", "0:sru:99"])).is_err());
+    }
+}

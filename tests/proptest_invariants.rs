@@ -1,0 +1,88 @@
+//! Cross-crate property tests: invariants that must hold over the
+//! whole parameter space the public API accepts, not just the paper's
+//! grid points.
+
+use dra::core::analysis::availability::{bdr_availability, dra_availability};
+use dra::core::analysis::degradation::{b_faulty_fraction, DegradationParams};
+use dra::core::analysis::nines::{format_nines, nines};
+use dra::core::analysis::reliability::{dra_model, reliability_curve, DraParams};
+use dra::router::components::FailureRates;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// R(t) is a survival function for every (N, M): starts at 1,
+    /// never increases, stays in [0, 1].
+    #[test]
+    fn reliability_is_a_survival_function(n in 3usize..8, m_off in 0usize..5) {
+        let m = 2 + m_off.min(n - 2);
+        let model = dra_model(&DraParams::new(n, m));
+        let times: Vec<f64> = (0..=10).map(|k| k as f64 * 8_000.0).collect();
+        let r = reliability_curve(&model.chain, model.start, model.failed, &times);
+        prop_assert_eq!(r[0], 1.0);
+        for w in r.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-12);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&w[1]));
+        }
+    }
+
+    /// DRA availability beats BDR and is monotone in the repair rate,
+    /// across arbitrary (N, M, mu).
+    #[test]
+    fn availability_dominance_and_monotonicity(
+        n in 3usize..8,
+        m_off in 0usize..5,
+        mu_hours in 1.0..48.0f64,
+    ) {
+        let m = 2 + m_off.min(n - 2);
+        let p = DraParams::new(n, m);
+        let mu = 1.0 / mu_hours;
+        let a = dra_availability(&p, mu);
+        prop_assert!((0.0..=1.0).contains(&a));
+        prop_assert!(a > bdr_availability(&FailureRates::PAPER, mu));
+        // Faster repair can only help.
+        let a_faster = dra_availability(&p, mu * 2.0);
+        prop_assert!(a_faster >= a - 1e-12);
+    }
+
+    /// The nines decomposition reconstructs a value consistent with
+    /// its input: k nines then digit d means the value lies in
+    /// [0.9...9d, 0.9...9(d+1)).
+    #[test]
+    fn nines_brackets_the_value(a in 0.0f64..1.0) {
+        let (k, d) = nines(a);
+        prop_assume!(k != usize::MAX && k <= 12);
+        let base: f64 = (0..k).fold(0.0, |acc, i| acc + 9.0 * 10f64.powi(-(i as i32 + 1)));
+        let lo = base + d as f64 * 10f64.powi(-(k as i32 + 1));
+        let hi = lo + 10f64.powi(-(k as i32 + 1));
+        prop_assert!(
+            a >= lo - 1e-12 && a < hi + 1e-12,
+            "a={a}, k={k}, d={d}, bracket [{lo}, {hi})"
+        );
+        // The formatter never panics on valid input.
+        let _ = format_nines(a);
+    }
+
+    /// Degradation: adding a healthy card never hurts, adding a faulty
+    /// card never helps, for any load and bus size.
+    #[test]
+    fn degradation_monotone_in_n_and_x(
+        n in 4usize..12,
+        x in 1usize..3,
+        load in 0.05f64..0.95,
+        bus_gbps in 5.0f64..80.0,
+    ) {
+        let p = |n: usize| DegradationParams {
+            n,
+            c_lc_bps: 10e9,
+            load,
+            bus_capacity_bps: bus_gbps * 1e9,
+        };
+        let f_small = b_faulty_fraction(&p(n), x);
+        let f_big = b_faulty_fraction(&p(n + 1), x);
+        prop_assert!(f_big >= f_small - 1e-12, "more cards helped less");
+        let f_more_failures = b_faulty_fraction(&p(n), x + 1);
+        prop_assert!(f_more_failures <= f_small + 1e-12, "more failures helped");
+    }
+}

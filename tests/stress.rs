@@ -1,0 +1,236 @@
+//! Stress and failure-injection edges: overload, tiny queues, fabric
+//! plane exhaustion, EIB loss mid-coverage, and pathological
+//! configurations. These guard the drop-accounting invariants that the
+//! headline experiments rely on.
+
+use dra::core::sim::{DraConfig, DraRouter, EibConfig};
+use dra::router::bdr::{BdrConfig, BdrRouter};
+use dra::router::components::ComponentKind;
+use dra::router::metrics::{DropCause, RouterMetrics};
+
+/// Offered packets must equal delivered + dropped + still-in-flight;
+/// since in-flight is bounded by pipeline depth, the deficit must be
+/// small once traffic stops being counted.
+fn accounting_deficit(m: &RouterMetrics) -> i64 {
+    let offered: i64 = m.lcs.iter().map(|l| l.offered_packets as i64).sum();
+    let delivered: i64 = m.lcs.iter().map(|l| l.delivered_packets as i64).sum();
+    let dropped: i64 = m.lcs.iter().map(|l| l.total_drops() as i64).sum();
+    offered - delivered - dropped
+}
+
+#[test]
+fn overload_drops_are_counted_not_lost() {
+    // 95% load through a speedup-1 fabric with tiny VOQs: heavy
+    // contention, but every offered packet must be accounted for.
+    let mut cfg = BdrConfig {
+        n_lcs: 4,
+        load: 0.95,
+        voq_capacity: 16,
+        fabric_speedup: 1.0,
+        ..BdrConfig::default()
+    };
+    cfg.reassembly_timeout_s = 0.5e-3;
+    let mut sim = BdrRouter::simulation(cfg, 3);
+    sim.run_until(3e-3);
+    let m = &sim.model().metrics;
+    let deficit = accounting_deficit(m);
+    assert!(
+        (0..=2_000).contains(&deficit),
+        "accounting deficit {deficit} (in-flight should be bounded)"
+    );
+    assert!(
+        m.total_drops(DropCause::VoqOverflow) + m.total_drops(DropCause::ReassemblyTimeout) > 0,
+        "overload must surface as counted drops"
+    );
+}
+
+#[test]
+fn dra_overload_accounting_holds_too() {
+    let cfg = DraConfig {
+        router: BdrConfig {
+            n_lcs: 4,
+            load: 0.9,
+            voq_capacity: 32,
+            fabric_speedup: 1.0,
+            ..BdrConfig::default()
+        },
+        eib: EibConfig::default(),
+    };
+    let mut sim = DraRouter::simulation(cfg, 5);
+    sim.run_until(1e-3);
+    let now = sim.now();
+    sim.model_mut()
+        .fail_component_now(0, ComponentKind::Sru, now);
+    sim.run_until(3e-3);
+    let m = &sim.model().metrics;
+    // At 90% load the EIB's 2 ms backlog alone legitimately holds
+    // thousands of packets; bound the deficit as a fraction of offered.
+    let offered: i64 = m.lcs.iter().map(|l| l.offered_packets as i64).sum();
+    let deficit = accounting_deficit(m);
+    assert!(
+        deficit >= 0 && deficit <= offered * 15 / 100,
+        "accounting deficit {deficit} of {offered} offered"
+    );
+}
+
+#[test]
+fn fabric_plane_exhaustion_stops_switching_until_repair() {
+    let mut sim = BdrRouter::simulation(
+        BdrConfig {
+            n_lcs: 4,
+            load: 0.2,
+            ..BdrConfig::default()
+        },
+        7,
+    );
+    sim.run_until(0.5e-3);
+    for _ in 0..5 {
+        sim.model_mut().fabric.fail_plane();
+    }
+    assert!(!sim.model().fabric.operational());
+    sim.run_until(1.5e-3);
+    let m = &sim.model().metrics;
+    assert!(
+        m.total_drops(DropCause::FabricDown) > 0,
+        "new arrivals must be counted as fabric-down drops"
+    );
+    // Repair one plane: switching resumes.
+    let delivered_before = sim.model().metrics.total_delivered_bytes();
+    sim.model_mut().fabric.repair_plane();
+    sim.run_until(3e-3);
+    assert!(sim.model().metrics.total_delivered_bytes() > delivered_before);
+}
+
+#[test]
+fn eib_failure_mid_coverage_downgrades_gracefully() {
+    let mut sim = DraRouter::simulation(
+        DraConfig {
+            router: BdrConfig {
+                n_lcs: 4,
+                load: 0.2,
+                ..BdrConfig::default()
+            },
+            ..Default::default()
+        },
+        11,
+    );
+    // Coverage active...
+    sim.run_until(0.5e-3);
+    let now = sim.now();
+    sim.model_mut()
+        .fail_component_now(0, ComponentKind::Sru, now);
+    sim.run_until(1.5e-3);
+    assert!(sim.model().metrics.eib_packets > 0);
+    // ...then the bus dies under it.
+    let now = sim.now();
+    sim.model_mut().fail_eib_now(now);
+    sim.run_until(3e-3);
+    let m = &sim.model().metrics;
+    assert!(
+        m.lcs[0].drops(DropCause::IngressDown) > 0,
+        "without the EIB the faulty card goes dark (T' regime)"
+    );
+    // Healthy cards are unaffected.
+    assert!(m.lcs[1].delivered_packets > 0);
+    let deficit = accounting_deficit(m);
+    assert!((0..=2_000).contains(&deficit), "deficit {deficit}");
+}
+
+#[test]
+fn every_card_faulty_still_accounts_cleanly() {
+    // All four cards lose their SRUs: no healthy helper remains, so
+    // the spare pool is zero and everything drops with a cause.
+    let mut sim = DraRouter::simulation(
+        DraConfig {
+            router: BdrConfig {
+                n_lcs: 4,
+                load: 0.2,
+                ..BdrConfig::default()
+            },
+            ..Default::default()
+        },
+        13,
+    );
+    sim.run_until(0.5e-3);
+    let now = sim.now();
+    for lc in 0..4 {
+        sim.model_mut()
+            .fail_component_now(lc, ComponentKind::Sru, now);
+    }
+    sim.run_until(2e-3);
+    let m = &sim.model().metrics;
+    let post_drops: u64 = m
+        .lcs
+        .iter()
+        .map(|l| {
+            l.drops(DropCause::NoCoverage)
+                + l.drops(DropCause::EibOversubscribed)
+                + l.drops(DropCause::IngressDown)
+                + l.drops(DropCause::EgressDown)
+        })
+        .sum();
+    assert!(post_drops > 0, "total failure must be visible in drops");
+    let deficit = accounting_deficit(m);
+    assert!((0..=2_000).contains(&deficit), "deficit {deficit}");
+}
+
+#[test]
+fn minimum_router_size_works() {
+    // N=3 is DRA's floor (LC_UA, LC_out, one LC_inter).
+    let mut sim = DraRouter::simulation(
+        DraConfig {
+            router: BdrConfig {
+                n_lcs: 3,
+                load: 0.15,
+                ..BdrConfig::default()
+            },
+            ..Default::default()
+        },
+        17,
+    );
+    sim.run_until(1e-3);
+    let now = sim.now();
+    sim.model_mut()
+        .fail_component_now(0, ComponentKind::Lfe, now);
+    sim.run_until(3e-3);
+    let m = &sim.model().metrics;
+    assert!(m.lcs[0].covered_packets > 0);
+    assert!(m.byte_delivery_ratio() > 0.95);
+}
+
+#[test]
+fn repeated_fail_repair_cycles_stay_consistent() {
+    let mut sim = DraRouter::simulation(
+        DraConfig {
+            router: BdrConfig {
+                n_lcs: 4,
+                load: 0.2,
+                ..BdrConfig::default()
+            },
+            ..Default::default()
+        },
+        19,
+    );
+    let mut t = 0.3e-3;
+    for cycle in 0..8 {
+        sim.run_until(t);
+        let now = sim.now();
+        let lc = (cycle % 4) as u16;
+        sim.model_mut()
+            .fail_component_now(lc, ComponentKind::Sru, now);
+        t += 0.3e-3;
+        sim.run_until(t);
+        let now = sim.now();
+        sim.model_mut().repair_lc_now(lc, now);
+        t += 0.1e-3;
+    }
+    sim.run_until(t + 0.5e-3);
+    let m = &sim.model().metrics;
+    assert!(
+        m.byte_delivery_ratio() > 0.98,
+        "{}",
+        m.byte_delivery_ratio()
+    );
+    let deficit = accounting_deficit(m);
+    assert!((0..=2_000).contains(&deficit), "deficit {deficit}");
+}
