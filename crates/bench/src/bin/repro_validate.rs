@@ -14,11 +14,14 @@
 //! events); add `--quick` for a reduced sweep.
 
 use dra_bench::{print_table, quick_mode};
+use dra_campaign::engine::{run, RunOptions};
+use dra_campaign::json::Json;
+use dra_campaign::registry;
 use dra_core::analysis::degradation::{b_faulty_fraction, DegradationParams};
 use dra_core::analysis::reliability::{dra_model, reliability_curve, DraParams, TprimeSemantics};
 use dra_core::montecarlo::{inflated_rates, run_bdr_mc, run_dra_mc, McConfig, McMode};
 use dra_core::sim::{DraConfig, DraRouter};
-use dra_router::bdr::{BdrConfig, BdrRouter};
+use dra_router::bdr::BdrConfig;
 use dra_router::components::ComponentKind;
 
 fn validate_markov_vs_mc(quick: bool) {
@@ -87,69 +90,22 @@ fn validate_markov_vs_mc(quick: bool) {
     );
 }
 
-/// Measured ingress delivery fraction of the faulty linecards over the
-/// post-failure window.
-fn sim_faulty_fraction(load: f64, x_faulty: usize, seed: u64, dra: bool) -> f64 {
-    let n = 6;
-    let warmup = 2e-3;
-    let horizon = 8e-3;
-    let base = BdrConfig {
-        n_lcs: n,
-        load,
-        ..BdrConfig::default()
+/// Ingress delivery fraction of the first `x` (faulty) linecards over
+/// the post-failure window, read from a campaign cell's per-LC window
+/// counters.
+fn faulty_fraction(cell: &Json, x: usize) -> f64 {
+    let window = cell.get("window").expect("cell window");
+    let sum_first = |key: &str| -> f64 {
+        window
+            .get(key)
+            .and_then(Json::as_arr)
+            .expect("window array")[..x]
+            .iter()
+            .map(|v| v.as_f64().expect("byte count"))
+            .sum()
     };
-
-    let (offered_at_fail, delivered_at_fail, offered_end, delivered_end);
-    if dra {
-        let mut sim = DraRouter::simulation(
-            DraConfig {
-                router: base,
-                ..Default::default()
-            },
-            seed,
-        );
-        sim.run_until(warmup);
-        let now = sim.now();
-        for lc in 0..x_faulty as u16 {
-            sim.model_mut()
-                .fail_component_now(lc, ComponentKind::Sru, now);
-        }
-        let snap = |m: &dra_router::metrics::RouterMetrics| {
-            let off: u64 = (0..x_faulty).map(|i| m.lcs[i].offered_bytes).sum();
-            let del: u64 = (0..x_faulty).map(|i| m.lcs[i].delivered_bytes).sum();
-            (off, del)
-        };
-        let (o, d) = snap(&sim.model().metrics);
-        offered_at_fail = o;
-        delivered_at_fail = d;
-        sim.run_until(horizon);
-        let (o, d) = snap(&sim.model().metrics);
-        offered_end = o;
-        delivered_end = d;
-    } else {
-        let mut sim = BdrRouter::simulation(base, seed);
-        sim.run_until(warmup);
-        let now = sim.now();
-        for lc in 0..x_faulty as u16 {
-            sim.model_mut()
-                .fail_component_now(lc, ComponentKind::Sru, now);
-        }
-        let snap = |m: &dra_router::metrics::RouterMetrics| {
-            let off: u64 = (0..x_faulty).map(|i| m.lcs[i].offered_bytes).sum();
-            let del: u64 = (0..x_faulty).map(|i| m.lcs[i].delivered_bytes).sum();
-            (off, del)
-        };
-        let (o, d) = snap(&sim.model().metrics);
-        offered_at_fail = o;
-        delivered_at_fail = d;
-        sim.run_until(horizon);
-        let (o, d) = snap(&sim.model().metrics);
-        offered_end = o;
-        delivered_end = d;
-    }
-
-    let offered = (offered_end - offered_at_fail) as f64;
-    let delivered = (delivered_end - delivered_at_fail) as f64;
+    let offered = sum_first("offered_bytes");
+    let delivered = sum_first("delivered_bytes");
     if offered == 0.0 {
         1.0
     } else {
@@ -159,23 +115,23 @@ fn sim_faulty_fraction(load: f64, x_faulty: usize, seed: u64, dra: bool) -> f64 
 
 fn validate_fig8(quick: bool) {
     println!("\n#### Part 2: packet simulation vs the Figure-8 analysis ####");
-    let loads: &[f64] = if quick {
-        &[0.15, 0.7]
-    } else {
-        &[0.15, 0.3, 0.5, 0.7]
-    };
-    let xs: Vec<usize> = if quick {
-        vec![1, 5]
-    } else {
-        vec![1, 2, 3, 4, 5]
-    };
+    let (loads, xs) = registry::fig8_grid(quick);
+    let spec = registry::build("fig8", quick).expect("built-in fig8 spec");
+    let outcome = run(&spec, &RunOptions::default()).expect("fig8 campaign runs");
+    let artifact = outcome.artifact.expect("campaign completed");
+    let cells = artifact
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("artifact cells");
 
     let mut rows = Vec::new();
-    for &load in loads {
-        for &x in &xs {
+    for (li, &load) in loads.iter().enumerate() {
+        for (xi, &x) in xs.iter().enumerate() {
+            // Cells come in (DRA, BDR) pairs in grid order.
+            let base = (li * xs.len() + xi) * 2;
             let analytic = 100.0 * b_faulty_fraction(&DegradationParams::paper(load), x);
-            let sim_dra = 100.0 * sim_faulty_fraction(load, x, 0xF18, true);
-            let sim_bdr = 100.0 * sim_faulty_fraction(load, x, 0xF18, false);
+            let sim_dra = 100.0 * faulty_fraction(&cells[base], x);
+            let sim_bdr = 100.0 * faulty_fraction(&cells[base + 1], x);
             rows.push(vec![
                 format!("{:.0}%", load * 100.0),
                 x.to_string(),

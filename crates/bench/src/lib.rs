@@ -1,93 +1,12 @@
 //! Shared harness code for the `repro-*` binaries and criterion
-//! benches: table/CSV printing and parallel parameter sweeps.
+//! benches.
+//!
+//! The table/CSV printers and the parallel sweep helper moved to
+//! `dra-campaign` (the campaign engine needs them too); they are
+//! re-exported here so the repro binaries keep their imports.
 
-use parking_lot::Mutex;
-
-/// Print an aligned text table to stdout.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n== {title} ==");
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let line = |cells: &[String]| {
-        let parts: Vec<String> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
-            .collect();
-        println!("  {}", parts.join("  "));
-    };
-    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(
-        &widths
-            .iter()
-            .map(|w| "-".repeat(*w))
-            .collect::<Vec<String>>(),
-    );
-    for row in rows {
-        line(row);
-    }
-}
-
-/// Print the same data as CSV lines (prefixed `csv:` for easy grep).
-pub fn print_csv(headers: &[&str], rows: &[Vec<String>]) {
-    println!("csv:{}", headers.join(","));
-    for row in rows {
-        println!("csv:{}", row.join(","));
-    }
-}
-
-/// Map `inputs` through `f` on scoped worker threads, preserving order.
-///
-/// Used by the sweep harnesses: each (N, M, μ) cell solves an
-/// independent Markov model, so the sweep is embarrassingly parallel.
-pub fn parallel_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
-where
-    I: Send,
-    O: Send,
-    F: Fn(&I) -> O + Sync,
-{
-    let n = inputs.len();
-    let results: Mutex<Vec<Option<O>>> = Mutex::new((0..n).map(|_| None).collect());
-    let work: Mutex<std::vec::IntoIter<(usize, I)>> = Mutex::new(
-        inputs
-            .into_iter()
-            .enumerate()
-            .collect::<Vec<_>>()
-            .into_iter(),
-    );
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n.max(1));
-
-    crossbeam::thread::scope(|s| {
-        for _ in 0..threads {
-            s.spawn(|_| loop {
-                let item = work.lock().next();
-                match item {
-                    Some((idx, input)) => {
-                        let out = f(&input);
-                        results.lock()[idx] = Some(out);
-                    }
-                    None => break,
-                }
-            });
-        }
-    })
-    .expect("worker thread panicked");
-
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("all work items completed"))
-        .collect()
-}
+pub use dra_campaign::pool::parallel_map;
+pub use dra_campaign::report::{print_csv, print_table};
 
 /// `--quick` flag support for the repro binaries: smaller sweeps for
 /// smoke-testing.
@@ -100,25 +19,10 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_map_preserves_order() {
+    fn parallel_map_reexport_preserves_order() {
         let inputs: Vec<u64> = (0..100).collect();
         let out = parallel_map(inputs.clone(), |&x| x * 2);
         let expect: Vec<u64> = inputs.iter().map(|x| x * 2).collect();
         assert_eq!(out, expect);
-    }
-
-    #[test]
-    fn parallel_map_empty() {
-        let out: Vec<u8> = parallel_map(Vec::<u8>::new(), |_| 0u8);
-        assert!(out.is_empty());
-    }
-
-    #[test]
-    fn parallel_map_heavy_closure() {
-        let offset = 7u64;
-        let out = parallel_map((0..50u64).collect(), |&x| x + offset);
-        for (i, v) in out.iter().enumerate() {
-            assert_eq!(*v, i as u64 + offset);
-        }
     }
 }

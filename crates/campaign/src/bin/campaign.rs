@@ -1,0 +1,217 @@
+//! `campaign` — run experiment campaigns from the command line.
+//!
+//! ```text
+//! campaign [--spec NAME] [--quick] [--workers N] [--seed S]
+//!          [--replications R] [--out PATH] [--cell-budget N]
+//!          [--fresh] [--csv] [--list]
+//! campaign --check PATH
+//! ```
+//!
+//! Artifacts land under `results/<spec>.json` by default, next to a
+//! `.partial.jsonl` checkpoint while a campaign is underway. Re-running
+//! the same spec resumes from the checkpoint; `--fresh` discards it.
+
+use dra_campaign::engine::{self, RunOptions};
+use dra_campaign::registry;
+use dra_campaign::report::{artifact_table, print_csv, print_table};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Cli {
+    spec: String,
+    quick: bool,
+    workers: usize,
+    seed: Option<u64>,
+    replications: Option<usize>,
+    out: Option<PathBuf>,
+    no_out: bool,
+    cell_budget: Option<usize>,
+    fresh: bool,
+    csv: bool,
+    list: bool,
+    check: Option<PathBuf>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign [--spec NAME] [--quick] [--workers N] [--seed S]\n\
+         \x20               [--replications R] [--out PATH | --no-out]\n\
+         \x20               [--cell-budget N] [--fresh] [--csv]\n\
+         \x20      campaign --list\n\
+         \x20      campaign --check PATH\n\
+         \n\
+         Runs a named campaign spec (default: faceoff) and writes a\n\
+         versioned JSON artifact to results/<spec>.json. Interrupted\n\
+         runs resume from the .partial.jsonl checkpoint automatically."
+    );
+    std::process::exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        spec: "faceoff".into(),
+        quick: false,
+        workers: dra_campaign::pool::default_workers(),
+        seed: None,
+        replications: None,
+        out: None,
+        no_out: false,
+        cell_budget: None,
+        fresh: false,
+        csv: false,
+        list: false,
+        check: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{name} needs a value");
+                usage()
+            })
+        };
+        match arg.as_str() {
+            "--spec" => cli.spec = value("--spec"),
+            "--quick" => cli.quick = true,
+            "--workers" => cli.workers = value("--workers").parse().unwrap_or_else(|_| usage()),
+            "--seed" => cli.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
+            "--replications" => {
+                cli.replications = Some(value("--replications").parse().unwrap_or_else(|_| usage()))
+            }
+            "--out" => cli.out = Some(PathBuf::from(value("--out"))),
+            "--no-out" => cli.no_out = true,
+            "--cell-budget" => {
+                cli.cell_budget = Some(value("--cell-budget").parse().unwrap_or_else(|_| usage()))
+            }
+            "--fresh" => cli.fresh = true,
+            "--csv" => cli.csv = true,
+            "--list" => cli.list = true,
+            "--check" => cli.check = Some(PathBuf::from(value("--check"))),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    cli
+}
+
+fn main() -> ExitCode {
+    let cli = parse_cli();
+
+    if cli.list {
+        let rows: Vec<Vec<String>> = registry::ENTRIES
+            .iter()
+            .map(|e| {
+                vec![
+                    e.name.to_string(),
+                    e.summary.split_whitespace().collect::<Vec<_>>().join(" "),
+                ]
+            })
+            .collect();
+        print_table("available campaign specs", &["name", "summary"], &rows);
+        return ExitCode::SUCCESS;
+    }
+
+    if let Some(path) = &cli.check {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        return match engine::validate_artifact(&text) {
+            Ok((cells, errors)) => {
+                println!(
+                    "{}: valid {} artifact, {cells} cells, {errors} error cells",
+                    path.display(),
+                    engine::ARTIFACT_FORMAT
+                );
+                if errors > 0 {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("{}: INVALID artifact: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let mut spec = match registry::build(&cli.spec, cli.quick) {
+        Some(s) => s,
+        None => {
+            eprintln!("unknown spec {:?}; try --list", cli.spec);
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Some(seed) = cli.seed {
+        spec.master_seed = seed;
+    }
+    if let Some(reps) = cli.replications {
+        for cell in &mut spec.cells {
+            cell.replications = reps.max(1);
+        }
+    }
+
+    let out = if cli.no_out {
+        None
+    } else {
+        Some(
+            cli.out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("results/{}.json", spec.name))),
+        )
+    };
+    let opts = RunOptions {
+        workers: cli.workers,
+        out,
+        cell_budget: cli.cell_budget,
+        fresh: cli.fresh,
+        quiet: false,
+    };
+
+    eprintln!(
+        "campaign {:?}: {} cells, master seed {}, digest {}, {} workers",
+        spec.name,
+        spec.cells.len(),
+        spec.master_seed,
+        spec.digest(),
+        opts.workers
+    );
+    let outcome = match engine::run(&spec, &opts) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    eprintln!(
+        "completed {} cells ({} resumed from checkpoint, {} failed), {} remaining",
+        outcome.completed, outcome.resumed, outcome.failed, outcome.remaining
+    );
+    if outcome.remaining > 0 {
+        eprintln!("cell budget exhausted; re-run to resume");
+        return ExitCode::SUCCESS;
+    }
+
+    let artifact = outcome.artifact.expect("complete run has an artifact");
+    let (headers, rows) = artifact_table(&artifact);
+    if cli.csv {
+        print_csv(&headers, &rows);
+    } else {
+        print_table(&format!("campaign {}", spec.name), &headers, &rows);
+    }
+    if let Some(path) = &outcome.artifact_path {
+        eprintln!("artifact: {}", path.display());
+    }
+    if outcome.failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,559 @@
+//! Campaign execution: cells → worker pool → aggregates → artifact.
+//!
+//! Determinism contract: the artifact produced for a given spec is a
+//! pure function of the spec (master seed included). Worker count,
+//! scheduling order, resume boundaries, and cell budgets change only
+//! *when* cells run, never what they compute:
+//!
+//! * every replication draws its RNG streams from
+//!   [`crate::seed::derive_seed`], not from any shared RNG;
+//! * cell results render to JSON as they finish, and the final
+//!   artifact sorts them by cell index;
+//! * resumed cells are spliced in from the checkpoint verbatim (the
+//!   JSON round-trips `f64` exactly), so a resumed artifact is
+//!   byte-identical to a fresh one.
+//!
+//! Crash safety: finished cells append to a `<artifact>.partial.jsonl`
+//! checkpoint (stamped with the spec digest); the artifact itself is
+//! written to a temp file and atomically renamed, so readers never see
+//! a torn artifact and an interrupted campaign resumes by skipping the
+//! checkpointed cells.
+
+use crate::json::{parse, Json};
+use crate::pool::WorkerPool;
+use crate::seed::{derive_seed, Stream};
+use crate::spec::{Arch, CampaignSpec, ScenarioTemplate};
+use dra_core::scenario::{Scenario, WindowedMetrics};
+use dra_core::sim::DraConfig;
+use dra_des::stats::Welford;
+use dra_router::metrics::{DropCause, RouterMetrics};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// The artifact format identifier; bump when the JSON layout changes.
+pub const ARTIFACT_FORMAT: &str = "dra-campaign/v1";
+/// The checkpoint format identifier.
+pub const CHECKPOINT_FORMAT: &str = "dra-campaign-checkpoint/v1";
+
+/// Knobs for one engine invocation (not part of the spec: none of
+/// these may affect results).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Worker threads (1 ⇒ fully serial in the calling thread).
+    pub workers: usize,
+    /// Artifact path. `None` runs in memory: no checkpoint, no file.
+    pub out: Option<PathBuf>,
+    /// Stop after completing this many *new* cells (checkpointing
+    /// them); `None` runs the whole grid. Used to bound invocation
+    /// time and to test resume.
+    pub cell_budget: Option<usize>,
+    /// Ignore (and overwrite) any existing checkpoint.
+    pub fresh: bool,
+    /// Suppress progress lines on stderr.
+    pub quiet: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            workers: crate::pool::default_workers(),
+            out: None,
+            cell_budget: None,
+            fresh: false,
+            quiet: true,
+        }
+    }
+}
+
+/// What one engine invocation accomplished.
+#[derive(Debug)]
+pub struct CampaignOutcome {
+    /// The complete artifact, present only when every cell finished.
+    pub artifact: Option<Json>,
+    /// Where the artifact was written (when complete and `out` set).
+    pub artifact_path: Option<PathBuf>,
+    /// Cells computed by *this* invocation.
+    pub completed: usize,
+    /// Cells skipped because the checkpoint already had them.
+    pub resumed: usize,
+    /// Cells still missing (> 0 ⇔ budget exhausted, artifact absent).
+    pub remaining: usize,
+    /// Cells that failed with a panic (included in the artifact as
+    /// error records).
+    pub failed: usize,
+}
+
+/// Execute a campaign.
+pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> std::io::Result<CampaignOutcome> {
+    spec.validate();
+    let digest = spec.digest();
+
+    // Load checkpointed cells, if any.
+    let ckpt_path = opts.out.as_ref().map(|p| checkpoint_path(p));
+    let mut done: BTreeMap<u64, Json> = BTreeMap::new();
+    if let Some(path) = &ckpt_path {
+        if opts.fresh {
+            let _ = fs::remove_file(path);
+        } else {
+            done = load_checkpoint(path, &digest, opts.quiet)?;
+        }
+    }
+    let resumed = done.len();
+
+    let mut pending: Vec<usize> = (0..spec.cells.len())
+        .filter(|i| !done.contains_key(&(*i as u64)))
+        .collect();
+    let total_pending = pending.len();
+    if let Some(budget) = opts.cell_budget {
+        pending.truncate(budget);
+    }
+
+    // Open the checkpoint for appending before any work starts, so a
+    // kill mid-run loses at most the in-flight cells.
+    let ckpt: Option<Mutex<fs::File>> = match &ckpt_path {
+        Some(path) if !pending.is_empty() => {
+            if let Some(dir) = path.parent() {
+                fs::create_dir_all(dir)?;
+            }
+            let fresh_file = !path.exists();
+            let mut f = fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            if fresh_file || done.is_empty() {
+                // (Re)stamp the header when starting a new checkpoint.
+                if done.is_empty() {
+                    f = fs::File::create(path)?;
+                }
+                let header = Json::obj(vec![
+                    ("format", Json::Str(CHECKPOINT_FORMAT.into())),
+                    ("campaign", Json::Str(spec.name.clone())),
+                    ("digest", Json::Str(digest.clone())),
+                ]);
+                writeln!(f, "{}", header.to_string_compact())?;
+                f.flush()?;
+            }
+            Some(Mutex::new(f))
+        }
+        _ => None,
+    };
+
+    let pool = WorkerPool::new(opts.workers);
+    let quiet = opts.quiet;
+    let outcomes = pool.try_map(pending.clone(), |&i| {
+        let cell_json = run_cell(spec, i);
+        if let Some(f) = &ckpt {
+            let mut f = f.lock().expect("checkpoint lock");
+            writeln!(f, "{}", cell_json.to_string_compact()).expect("checkpoint write");
+            f.flush().expect("checkpoint flush");
+        }
+        if !quiet {
+            eprintln!("  cell {i} ({}) done", spec.cells[i].id);
+        }
+        cell_json
+    });
+
+    let mut failed = 0;
+    for (idx, outcome) in pending.iter().zip(outcomes) {
+        let cell_json = match outcome {
+            Ok(j) => j,
+            Err(p) => {
+                // The whole cell panicked before it could checkpoint;
+                // record the failure so the artifact stays complete.
+                failed += 1;
+                let j = error_cell(spec, *idx, &p.message);
+                if let Some(f) = &ckpt {
+                    let mut f = f.lock().expect("checkpoint lock");
+                    writeln!(f, "{}", j.to_string_compact())?;
+                    f.flush()?;
+                }
+                j
+            }
+        };
+        done.insert(*idx as u64, cell_json);
+    }
+
+    let remaining = spec.cells.len() - done.len();
+    if remaining > 0 {
+        return Ok(CampaignOutcome {
+            artifact: None,
+            artifact_path: None,
+            completed: total_pending - remaining,
+            resumed,
+            remaining,
+            failed,
+        });
+    }
+
+    // All cells present: assemble, write atomically, drop checkpoint.
+    let artifact = Json::obj(vec![
+        ("format", Json::Str(ARTIFACT_FORMAT.into())),
+        ("digest", Json::Str(digest)),
+        ("spec", spec.manifest()),
+        ("cells", Json::Arr(done.into_values().collect())),
+    ]);
+    let mut artifact_path = None;
+    if let Some(out) = &opts.out {
+        write_atomic(out, &artifact.to_string_pretty())?;
+        if let Some(path) = &ckpt_path {
+            let _ = fs::remove_file(path);
+        }
+        artifact_path = Some(out.clone());
+    }
+    Ok(CampaignOutcome {
+        artifact: Some(artifact),
+        artifact_path,
+        completed: total_pending,
+        resumed,
+        remaining: 0,
+        failed,
+    })
+}
+
+/// The checkpoint path for an artifact path.
+pub fn checkpoint_path(artifact: &Path) -> PathBuf {
+    let mut name = artifact.file_name().unwrap_or_default().to_os_string();
+    name.push(".partial.jsonl");
+    artifact.with_file_name(name)
+}
+
+fn load_checkpoint(path: &Path, digest: &str, quiet: bool) -> std::io::Result<BTreeMap<u64, Json>> {
+    let mut done = BTreeMap::new();
+    let text = match fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(done),
+        Err(e) => return Err(e),
+    };
+    let mut lines = text.lines();
+    let header = match lines.next().and_then(|l| parse(l).ok()) {
+        Some(h) => h,
+        None => return Ok(done), // unreadable checkpoint: start over
+    };
+    let matches = header.get("format").and_then(Json::as_str) == Some(CHECKPOINT_FORMAT)
+        && header.get("digest").and_then(Json::as_str) == Some(digest);
+    if !matches {
+        if !quiet {
+            eprintln!(
+                "  checkpoint at {} is for a different spec; ignoring",
+                path.display()
+            );
+        }
+        return Ok(done);
+    }
+    for line in lines {
+        // A truncated last line (crash mid-write) parses as an error
+        // and is simply re-run.
+        if let Ok(cell) = parse(line) {
+            if let Some(idx) = cell.get("cell").and_then(Json::as_u64) {
+                done.insert(idx, cell);
+            }
+        }
+    }
+    Ok(done)
+}
+
+fn write_atomic(path: &Path, text: &str) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)?;
+        }
+    }
+    let mut tmp_name = path.file_name().unwrap_or_default().to_os_string();
+    tmp_name.push(".tmp");
+    let tmp = path.with_file_name(tmp_name);
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(text.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)
+}
+
+fn error_cell(spec: &CampaignSpec, index: usize, message: &str) -> Json {
+    Json::obj(vec![
+        ("cell", Json::Num(index as f64)),
+        ("id", Json::Str(spec.cells[index].id.clone())),
+        ("error", Json::Str(message.to_string())),
+    ])
+}
+
+/// Run every replication of one cell and reduce to its JSON record.
+fn run_cell(spec: &CampaignSpec, index: usize) -> Json {
+    let cell = &spec.cells[index];
+    let horizon = cell.scenario.horizon_s();
+    let n = cell.config.n_lcs;
+
+    let mut delivery = Welford::new();
+    let mut latency = Welford::new();
+    let mut availability = Welford::new();
+    let mut drops = [0u64; 8];
+    let mut win_offered = vec![0u64; n];
+    let mut win_delivered = vec![0u64; n];
+    let (mut eib_packets, mut eib_bytes, mut eib_control, mut eib_collisions) = (0u64, 0, 0, 0);
+
+    for rep in 0..cell.replications {
+        let sim_seed = derive_seed(
+            spec.master_seed,
+            cell.seed_group,
+            rep as u64,
+            Stream::Simulation,
+        );
+        let scenario: Scenario = match &cell.scenario {
+            ScenarioTemplate::Explicit(s) => s.clone(),
+            ScenarioTemplate::Sampled { process, horizon_s } => {
+                let fault_seed = derive_seed(
+                    spec.master_seed,
+                    cell.seed_group,
+                    rep as u64,
+                    Stream::Faults,
+                );
+                process.sample(n, *horizon_s, &mut SmallRng::seed_from_u64(fault_seed))
+            }
+        };
+        let (metrics, window): (RouterMetrics, WindowedMetrics) = match cell.arch {
+            Arch::Dra => {
+                let (model, w) = scenario.run_dra_windowed(
+                    DraConfig {
+                        router: cell.config.clone(),
+                        ..Default::default()
+                    },
+                    sim_seed,
+                    cell.measure_from_s,
+                );
+                (model.metrics, w)
+            }
+            Arch::Bdr => {
+                let (model, w) =
+                    scenario.run_bdr_windowed(cell.config.clone(), sim_seed, cell.measure_from_s);
+                (model.metrics, w)
+            }
+        };
+
+        delivery.push(window.window_byte_delivery_ratio());
+        for lc in 0..n {
+            win_offered[lc] += window.window_offered_bytes(lc);
+            win_delivered[lc] += window.window_delivered_bytes(lc);
+        }
+        for (slot, cause) in DropCause::ALL.iter().enumerate() {
+            drops[slot] += metrics.total_drops(*cause);
+        }
+        // Packet-weighted mean latency across the router.
+        let (mut lat_sum, mut lat_n) = (0.0, 0u64);
+        let mut avail_sum = 0.0;
+        for lc in &metrics.lcs {
+            lat_sum += lc.latency.mean() * lc.latency.count() as f64;
+            lat_n += lc.latency.count();
+            avail_sum += lc.availability.average(horizon);
+        }
+        if lat_n > 0 {
+            latency.push(lat_sum / lat_n as f64);
+        }
+        availability.push(avail_sum / n as f64);
+        eib_packets += metrics.eib_packets;
+        eib_bytes += metrics.eib_bytes;
+        eib_control += metrics.eib_control_packets;
+        eib_collisions += metrics.eib_collisions;
+    }
+
+    let drop_pairs: Vec<(String, Json)> = DropCause::ALL
+        .iter()
+        .enumerate()
+        .map(|(slot, cause)| (cause.to_string(), Json::Num(drops[slot] as f64)))
+        .collect();
+
+    Json::obj(vec![
+        ("cell", Json::Num(index as f64)),
+        ("id", Json::Str(cell.id.clone())),
+        ("arch", Json::Str(cell.arch.name().to_string())),
+        ("replications", Json::Num(cell.replications as f64)),
+        ("delivery", welford_json(&delivery)),
+        ("latency_s", welford_json(&latency)),
+        ("availability", welford_json(&availability)),
+        ("drops", Json::Obj(drop_pairs)),
+        (
+            "eib",
+            Json::obj(vec![
+                ("packets", Json::Num(eib_packets as f64)),
+                ("bytes", Json::Num(eib_bytes as f64)),
+                ("control_packets", Json::Num(eib_control as f64)),
+                ("collisions", Json::Num(eib_collisions as f64)),
+            ]),
+        ),
+        (
+            "window",
+            Json::obj(vec![
+                (
+                    "offered_bytes",
+                    Json::Arr(win_offered.iter().map(|&b| Json::Num(b as f64)).collect()),
+                ),
+                (
+                    "delivered_bytes",
+                    Json::Arr(win_delivered.iter().map(|&b| Json::Num(b as f64)).collect()),
+                ),
+            ]),
+        ),
+    ])
+}
+
+fn welford_json(w: &Welford) -> Json {
+    if w.count() == 0 {
+        return Json::obj(vec![("n", Json::Num(0.0))]);
+    }
+    let ci = if w.count() >= 2 {
+        w.ci_half_width(1.96)
+    } else {
+        0.0
+    };
+    Json::obj(vec![
+        ("n", Json::Num(w.count() as f64)),
+        ("mean", Json::Num(w.mean())),
+        ("ci95", Json::Num(ci)),
+        ("min", Json::Num(w.min())),
+        ("max", Json::Num(w.max())),
+    ])
+}
+
+/// Structural validation of an artifact document (used by `--check`
+/// and the CI smoke job). Returns `(cells, error_cells)`.
+pub fn validate_artifact(text: &str) -> Result<(usize, usize), String> {
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    if doc.get("format").and_then(Json::as_str) != Some(ARTIFACT_FORMAT) {
+        return Err(format!(
+            "format is {:?}, expected {ARTIFACT_FORMAT:?}",
+            doc.get("format")
+        ));
+    }
+    doc.get("digest")
+        .and_then(Json::as_str)
+        .filter(|d| d.len() == 16)
+        .ok_or("missing/malformed digest")?;
+    let spec = doc.get("spec").ok_or("missing spec manifest")?;
+    let spec_cells = spec
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("spec manifest has no cells")?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("missing cells array")?;
+    if cells.len() != spec_cells.len() {
+        return Err(format!(
+            "artifact has {} cells but the spec declares {}",
+            cells.len(),
+            spec_cells.len()
+        ));
+    }
+    let mut errors = 0;
+    for (i, cell) in cells.iter().enumerate() {
+        let idx = cell
+            .get("cell")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("cell {i}: missing index"))?;
+        if idx != i as u64 {
+            return Err(format!("cell {i}: out of order (index {idx})"));
+        }
+        cell.get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("cell {i}: missing id"))?;
+        if cell.get("error").is_some() {
+            errors += 1;
+            continue;
+        }
+        let mean = cell
+            .get("delivery")
+            .and_then(|d| d.get("mean"))
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("cell {i}: missing delivery.mean"))?;
+        if !(0.0..=1.0).contains(&mean) {
+            return Err(format!("cell {i}: delivery.mean {mean} outside [0,1]"));
+        }
+    }
+    Ok((cells.len(), errors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{CellSpec, ScenarioTemplate};
+    use dra_core::scenario::Action;
+    use dra_router::bdr::BdrConfig;
+    use dra_router::components::ComponentKind;
+
+    fn spec(cells: usize, reps: usize) -> CampaignSpec {
+        CampaignSpec {
+            name: "unit".into(),
+            description: "engine unit-test grid".into(),
+            master_seed: 7,
+            cells: (0..cells)
+                .map(|i| CellSpec {
+                    id: format!("dra/cell{i}"),
+                    arch: Arch::Dra,
+                    config: BdrConfig {
+                        n_lcs: 3,
+                        load: 0.15,
+                        ..BdrConfig::default()
+                    },
+                    scenario: ScenarioTemplate::Explicit(
+                        Scenario::new(1e-3)
+                            .at(0.4e-3, Action::FailComponent(0, ComponentKind::Sru)),
+                    ),
+                    replications: reps,
+                    measure_from_s: 0.0,
+                    seed_group: i as u64,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn in_memory_run_produces_valid_artifact() {
+        let out = run(&spec(2, 2), &RunOptions::default()).unwrap();
+        assert_eq!(out.completed, 2);
+        assert_eq!(out.remaining, 0);
+        let text = out.artifact.unwrap().to_string_pretty();
+        let (cells, errors) = validate_artifact(&text).unwrap();
+        assert_eq!((cells, errors), (2, 0));
+    }
+
+    #[test]
+    fn artifact_independent_of_worker_count() {
+        let spec = spec(3, 2);
+        let one = run(
+            &spec,
+            &RunOptions {
+                workers: 1,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let many = run(
+            &spec,
+            &RunOptions {
+                workers: 4,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            one.artifact.unwrap().to_string_pretty(),
+            many.artifact.unwrap().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn checkpoint_path_is_sibling() {
+        let p = checkpoint_path(Path::new("results/faceoff.json"));
+        assert_eq!(p, Path::new("results/faceoff.json.partial.jsonl"));
+    }
+
+    #[test]
+    fn validate_artifact_rejects_garbage() {
+        assert!(validate_artifact("not json").is_err());
+        assert!(validate_artifact("{\"format\":\"something-else\"}").is_err());
+    }
+}

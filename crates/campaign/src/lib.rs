@@ -1,0 +1,47 @@
+//! # dra-campaign
+//!
+//! A declarative, parallel, **deterministic** experiment-campaign
+//! engine for the DRA reproduction.
+//!
+//! The repo's experiments (the repro binaries, the examples, ad-hoc
+//! sweeps) kept re-growing the same scaffolding: nested parameter
+//! loops, hand-rolled seeding, bespoke aggregation, print-only output.
+//! This crate replaces that with one pipeline:
+//!
+//! * [`spec`] — a [`spec::CampaignSpec`] declares a grid of cells:
+//!   architecture × router config × fault scenario × replications.
+//!   Scenarios are either explicit [`dra_core::scenario::Scenario`]
+//!   timelines or sampled from a [`dra_core::scenario::FaultProcess`].
+//! * [`seed`] — every replication's RNG streams derive structurally
+//!   from `(master_seed, seed_group, replication, stream)`; results
+//!   never depend on thread count or scheduling order.
+//! * [`pool`] — the workspace's worker pool (scoped threads, shared
+//!   work queue, per-item panic isolation). `dra-bench::parallel_map`
+//!   is now a re-export of [`pool::parallel_map`].
+//! * [`engine`] — runs cells on the pool, aggregates per-cell stats
+//!   ([`dra_des::stats::Welford`] delivery CI, drop-cause breakdown,
+//!   EIB counters, windowed per-LC bytes), checkpoints finished cells
+//!   to a `.partial.jsonl`, and atomically writes a versioned JSON
+//!   artifact. Interrupted campaigns resume by skipping checkpointed
+//!   cells — and still produce byte-identical artifacts.
+//! * [`registry`] — built-in specs (`faceoff`, `fig8`) with `--quick`
+//!   CI reductions.
+//! * [`json`] / [`report`] — the hand-rolled JSON layer (the build
+//!   environment has no serde) and shared table/CSV printers.
+//!
+//! The `campaign` binary exposes all of this on the command line; see
+//! `campaign --help`.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod json;
+pub mod pool;
+pub mod registry;
+pub mod report;
+pub mod seed;
+pub mod spec;
+
+pub use engine::{run, CampaignOutcome, RunOptions};
+pub use pool::{parallel_map, WorkerPool};
+pub use spec::{Arch, CampaignSpec, CellSpec, ScenarioTemplate};

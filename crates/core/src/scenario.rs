@@ -11,7 +11,9 @@ use crate::sim::{DraConfig, DraRouter};
 use dra_net::addr::Ipv4Prefix;
 use dra_router::bdr::{BdrConfig, BdrRouter};
 use dra_router::components::ComponentKind;
+use dra_router::faults::FaultInjector;
 use dra_router::metrics::RouterMetrics;
+use rand::Rng;
 
 /// One scripted action.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +71,11 @@ impl Scenario {
     /// The configured horizon.
     pub fn horizon(&self) -> f64 {
         self.horizon_s
+    }
+
+    /// The scripted `(time_s, action)` pairs, in insertion order.
+    pub fn events(&self) -> &[(f64, Action)] {
+        &self.events
     }
 
     /// Number of scripted actions.
@@ -146,6 +153,231 @@ impl Scenario {
             seed,
         );
         (bdr.metrics, dra.metrics)
+    }
+
+    /// Like [`Self::run_dra`], but also snapshot the metrics at
+    /// `measure_from_s` so callers can compute post-warmup (windowed)
+    /// quantities — e.g. the delivery fraction *after* a failure,
+    /// excluding the healthy warmup traffic (the Figure-8 validation
+    /// measures exactly this).
+    ///
+    /// Actions scheduled at exactly `measure_from_s` execute before
+    /// the snapshot, so "fail at t, measure from t" windows start in
+    /// the failed state.
+    pub fn run_dra_windowed(
+        &self,
+        config: DraConfig,
+        seed: u64,
+        measure_from_s: f64,
+    ) -> (DraRouter, WindowedMetrics) {
+        assert!((0.0..=self.horizon_s).contains(&measure_from_s));
+        let mut sim = DraRouter::simulation(config, seed);
+        let mut snapshot: Option<RouterMetrics> = None;
+        for (at, action) in self.ordered() {
+            if snapshot.is_none() && at > measure_from_s {
+                sim.run_until(measure_from_s);
+                snapshot = Some(sim.model().metrics.clone());
+            }
+            sim.run_until(at);
+            let now = sim.now();
+            let model = sim.model_mut();
+            match action {
+                Action::FailComponent(lc, kind) => model.fail_component_now(lc, kind, now),
+                Action::RepairLc(lc) => model.repair_lc_now(lc, now),
+                Action::FailEib => model.fail_eib_now(now),
+                Action::RepairEib => model.repair_eib_now(now),
+                Action::FailFabricPlane => model.fabric.fail_plane(),
+                Action::RepairFabricPlane => model.fabric.repair_plane(),
+                Action::AnnounceRoute(p, nh) => model.announce_route(p, nh),
+                Action::WithdrawRoute(p) => {
+                    model.withdraw_route(p);
+                }
+            }
+        }
+        if snapshot.is_none() {
+            sim.run_until(measure_from_s);
+            snapshot = Some(sim.model().metrics.clone());
+        }
+        sim.run_until(self.horizon_s);
+        let model = sim.into_model();
+        let windowed = WindowedMetrics {
+            full: model.metrics.clone(),
+            at_window_start: snapshot.expect("snapshot taken"),
+        };
+        (model, windowed)
+    }
+
+    /// BDR counterpart of [`Self::run_dra_windowed`].
+    pub fn run_bdr_windowed(
+        &self,
+        config: BdrConfig,
+        seed: u64,
+        measure_from_s: f64,
+    ) -> (BdrRouter, WindowedMetrics) {
+        assert!((0.0..=self.horizon_s).contains(&measure_from_s));
+        let mut sim = BdrRouter::simulation(config, seed);
+        let mut snapshot: Option<RouterMetrics> = None;
+        for (at, action) in self.ordered() {
+            if snapshot.is_none() && at > measure_from_s {
+                sim.run_until(measure_from_s);
+                snapshot = Some(sim.model().metrics.clone());
+            }
+            sim.run_until(at);
+            let now = sim.now();
+            let model = sim.model_mut();
+            match action {
+                Action::FailComponent(lc, kind) => model.fail_component_now(lc, kind, now),
+                Action::RepairLc(lc) => model.repair_lc_now(lc, now),
+                Action::FailEib | Action::RepairEib => {}
+                Action::FailFabricPlane => model.fabric.fail_plane(),
+                Action::RepairFabricPlane => model.fabric.repair_plane(),
+                Action::AnnounceRoute(p, nh) => model.announce_route(p, nh),
+                Action::WithdrawRoute(p) => {
+                    model.withdraw_route(p);
+                }
+            }
+        }
+        if snapshot.is_none() {
+            sim.run_until(measure_from_s);
+            snapshot = Some(sim.model().metrics.clone());
+        }
+        sim.run_until(self.horizon_s);
+        let model = sim.into_model();
+        let windowed = WindowedMetrics {
+            full: model.metrics.clone(),
+            at_window_start: snapshot.expect("snapshot taken"),
+        };
+        (model, windowed)
+    }
+}
+
+/// Final metrics plus a snapshot taken at the measurement-window
+/// start, so monotone counters can be differenced into window-only
+/// quantities.
+#[derive(Debug, Clone)]
+pub struct WindowedMetrics {
+    /// Metrics at the horizon (the whole run).
+    pub full: RouterMetrics,
+    /// Metrics snapshot at `measure_from_s`.
+    pub at_window_start: RouterMetrics,
+}
+
+impl WindowedMetrics {
+    /// Bytes offered to linecard `lc` inside the window.
+    pub fn window_offered_bytes(&self, lc: usize) -> u64 {
+        self.full.lcs[lc].offered_bytes - self.at_window_start.lcs[lc].offered_bytes
+    }
+
+    /// Bytes delivered by linecard `lc` inside the window.
+    pub fn window_delivered_bytes(&self, lc: usize) -> u64 {
+        self.full.lcs[lc].delivered_bytes - self.at_window_start.lcs[lc].delivered_bytes
+    }
+
+    /// Router-wide delivered/offered byte ratio inside the window
+    /// (1.0 when nothing was offered).
+    pub fn window_byte_delivery_ratio(&self) -> f64 {
+        let n = self.full.lcs.len();
+        let offered: u64 = (0..n).map(|lc| self.window_offered_bytes(lc)).sum();
+        let delivered: u64 = (0..n).map(|lc| self.window_delivered_bytes(lc)).sum();
+        if offered == 0 {
+            1.0
+        } else {
+            delivered as f64 / offered as f64
+        }
+    }
+}
+
+/// A stochastic fault/repair process that materializes as an explicit
+/// [`Scenario`] timeline.
+///
+/// This generalizes the fault-level sampling of [`crate::montecarlo`]
+/// to the packet simulators: component lifetimes are drawn from a
+/// [`FaultInjector`] (exponential, at the paper's §5 rates unless
+/// overridden) and — unlike the live `BdrConfig::faults` hook, which
+/// gives each architecture its own statistically-identical stream —
+/// the sampled timeline is *data*, so BDR and DRA can replay the
+/// **identical** failure history.
+#[derive(Debug, Clone)]
+pub struct FaultProcess {
+    /// Lifetime/repair sampler (rates, repair time, granularity).
+    pub injector: FaultInjector,
+    /// Sampled delays are in the injector's rate units (hours for the
+    /// paper's rates); they are multiplied by this to become
+    /// simulation seconds. 3600 maps paper-hours faithfully;
+    /// experiments use small values to compress time.
+    pub delay_scale: f64,
+    /// Schedule hot-swap repairs (`repair_time_h` after the first
+    /// failure of a card, restoring every unit); without repair each
+    /// card fails at most once per unit.
+    pub repair: bool,
+}
+
+impl FaultProcess {
+    /// Sample one fault timeline for `n_lcs` linecards over
+    /// `horizon_s` simulated seconds.
+    ///
+    /// Per linecard this is a renewal process: arm every unit, fire
+    /// the failures that precede the hot swap, repair, re-arm. Units
+    /// armed before a repair but sampled to fail after it never fire —
+    /// mirroring the generation-counter invalidation the live
+    /// injection path uses. The EIB line gets its own renewal stream
+    /// (a no-op when replayed on BDR).
+    ///
+    /// Sampling order is fixed (cards in index order, then the EIB),
+    /// so one seed yields one timeline regardless of caller context.
+    pub fn sample<R: Rng + ?Sized>(&self, n_lcs: usize, horizon_s: f64, rng: &mut R) -> Scenario {
+        assert!(self.delay_scale > 0.0);
+        let horizon_h = horizon_s / self.delay_scale;
+        let mut sc = Scenario::new(horizon_s);
+        for lc in 0..n_lcs as u16 {
+            let mut t_h = 0.0;
+            while t_h < horizon_h {
+                let armed = self.injector.arm_linecard(rng);
+                let first = armed.iter().map(|&(_, d)| d).fold(f64::INFINITY, f64::min);
+                if !self.repair {
+                    for (kind, d) in armed {
+                        if t_h + d < horizon_h {
+                            sc = sc.at(
+                                (t_h + d) * self.delay_scale,
+                                Action::FailComponent(lc, kind),
+                            );
+                        }
+                    }
+                    break;
+                }
+                let swap_h = first + self.injector.repair_delay_h();
+                for (kind, d) in armed {
+                    // Units that outlive the hot swap are replaced
+                    // before they fail.
+                    if d < swap_h && t_h + d < horizon_h {
+                        sc = sc.at(
+                            (t_h + d) * self.delay_scale,
+                            Action::FailComponent(lc, kind),
+                        );
+                    }
+                }
+                t_h += swap_h;
+                if t_h < horizon_h {
+                    sc = sc.at(t_h * self.delay_scale, Action::RepairLc(lc));
+                }
+            }
+        }
+        let mut t_h = 0.0;
+        while let Some(d) = self.injector.arm_eib(rng) {
+            if t_h + d >= horizon_h {
+                break;
+            }
+            sc = sc.at((t_h + d) * self.delay_scale, Action::FailEib);
+            if !self.repair {
+                break;
+            }
+            t_h += d + self.injector.repair_delay_h();
+            if t_h >= horizon_h {
+                break;
+            }
+            sc = sc.at(t_h * self.delay_scale, Action::RepairEib);
+        }
+        sc
     }
 }
 
@@ -232,6 +464,123 @@ mod tests {
             9,
         );
         assert_eq!(dra.fabric.planes_failed(), 1);
+    }
+
+    #[test]
+    fn windowed_run_diffs_monotone_counters() {
+        let s = Scenario::new(4e-3).at(2e-3, Action::FailComponent(0, ComponentKind::Sru));
+        let (model, w) = s.run_dra_windowed(
+            DraConfig {
+                router: base(4, 0.2),
+                ..Default::default()
+            },
+            3,
+            2e-3,
+        );
+        // Window counters are a strict subset of the full run.
+        for lc in 0..4 {
+            assert!(w.window_offered_bytes(lc) <= model.metrics.lcs[lc].offered_bytes);
+            assert!(w.window_offered_bytes(lc) > 0, "traffic flows in window");
+        }
+        // Packets offered just before the window can be delivered just
+        // inside it, so the ratio may slightly exceed 1; it must still
+        // be finite and near the unit interval.
+        let r = w.window_byte_delivery_ratio();
+        assert!(r.is_finite() && r > 0.0 && r < 1.1, "ratio {r}");
+    }
+
+    #[test]
+    fn windowed_snapshot_follows_same_instant_actions() {
+        // "Fail at t, measure from t": the snapshot sees pre-failure
+        // counters, so windowed delivery reflects the failed state.
+        let s = Scenario::new(6e-3).at(2e-3, Action::FailComponent(0, ComponentKind::Sru));
+        let (_, bdr) = s.run_bdr_windowed(base(4, 0.2), 3, 2e-3);
+        // A failed BDR card delivers (almost) nothing post-failure.
+        let off = bdr.window_offered_bytes(0);
+        let del = bdr.window_delivered_bytes(0);
+        assert!(off > 0);
+        assert!(
+            (del as f64) < 0.2 * off as f64,
+            "faulty BDR card delivered {del}/{off} in window"
+        );
+    }
+
+    #[test]
+    fn windowed_full_run_matches_plain_run() {
+        let s = Scenario::new(3e-3).at(1e-3, Action::FailComponent(0, ComponentKind::Lfe));
+        let plain = s.run_dra(
+            DraConfig {
+                router: base(4, 0.2),
+                ..Default::default()
+            },
+            11,
+        );
+        let (windowed, _) = s.run_dra_windowed(
+            DraConfig {
+                router: base(4, 0.2),
+                ..Default::default()
+            },
+            11,
+            1.5e-3,
+        );
+        // The snapshot must not perturb the simulation.
+        for lc in 0..4 {
+            assert_eq!(
+                plain.metrics.lcs[lc].delivered_bytes,
+                windowed.metrics.lcs[lc].delivered_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn sampled_schedule_is_deterministic_by_seed() {
+        use dra_router::faults::FaultGranularity;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let proc = FaultProcess {
+            injector: {
+                let mut inj = FaultInjector::new(3.0, FaultGranularity::PerComponent);
+                inj.rates = crate::montecarlo::inflated_rates(1000.0);
+                inj
+            },
+            delay_scale: 4e-3 / 50.0,
+            repair: true,
+        };
+        let a = proc.sample(6, 40e-3, &mut SmallRng::seed_from_u64(9));
+        let b = proc.sample(6, 40e-3, &mut SmallRng::seed_from_u64(9));
+        assert_eq!(a.events(), b.events());
+        let c = proc.sample(6, 40e-3, &mut SmallRng::seed_from_u64(10));
+        assert_ne!(a.events(), c.events());
+        // Inflated rates over a long compressed horizon must produce
+        // a non-trivial timeline with both failures and repairs.
+        assert!(!a.is_empty(), "no faults sampled");
+        assert!(a
+            .events()
+            .iter()
+            .any(|(_, act)| matches!(act, Action::RepairLc(_))));
+        // All events respect the horizon.
+        assert!(a.events().iter().all(|&(t, _)| t < 40e-3));
+    }
+
+    #[test]
+    fn sampled_schedule_replays_identically_on_both_archs() {
+        use dra_router::faults::FaultGranularity;
+        use rand::rngs::SmallRng;
+        use rand::SeedableRng;
+        let proc = FaultProcess {
+            injector: {
+                let mut inj = FaultInjector::new(3.0, FaultGranularity::WholeLc);
+                inj.rates = crate::montecarlo::inflated_rates(1000.0);
+                inj
+            },
+            delay_scale: 4e-3 / 50.0,
+            repair: false,
+        };
+        let sc = proc.sample(4, 10e-3, &mut SmallRng::seed_from_u64(21));
+        let (bdr, dra) = sc.compare(base(4, 0.2), 5);
+        for lc in 0..4 {
+            assert_eq!(bdr.lcs[lc].offered_packets, dra.lcs[lc].offered_packets);
+        }
     }
 
     #[test]

@@ -1,91 +1,71 @@
 //! Stochastic fault-injection campaign on the packet-level simulators.
 //!
 //! ```sh
-//! cargo run --release --example fault_injection
+//! cargo run --release --example fault_injection          # full grid
+//! cargo run --release --example fault_injection -- --quick
 //! ```
 //!
-//! Runs BDR and DRA side by side under accelerated random component
-//! failures (same seed ⇒ byte-identical offered traffic;
-//! statistically identical failure processes) and compares delivery,
-//! coverage, and measured per-card availability. This is the
-//! experiment the paper could not run: its evaluation was Markov
-//! models only.
+//! Runs the built-in `faceoff` campaign: BDR and DRA side by side
+//! under accelerated random component failures. Cells sharing a seed
+//! group replay *byte-identical* offered traffic and fault timelines
+//! on both architectures, then the engine reduces replications to
+//! delivery/latency/availability aggregates. This is the experiment
+//! the paper could not run: its evaluation was Markov models only.
 
-use dra::core::sim::{DraConfig, DraRouter};
-use dra::router::bdr::{BdrConfig, BdrRouter};
-use dra::router::faults::{FaultGranularity, FaultInjector};
-use dra::router::metrics::{DropCause, RouterMetrics};
+use dra::campaign::engine::{run, RunOptions};
+use dra::campaign::json::Json;
+use dra::campaign::registry;
+use dra::campaign::report::{artifact_table, print_table};
 
-fn report(name: &str, m: &RouterMetrics, horizon: f64) {
-    let avail: Vec<f64> = m
-        .lcs
-        .iter()
-        .map(|l| l.availability.average(horizon))
-        .collect();
-    let mean_avail = avail.iter().sum::<f64>() / avail.len() as f64;
-    println!("\n--- {name} ---");
-    println!(
-        "  delivered {:.2} MB of {:.2} MB offered ({:.2}%)",
-        m.total_delivered_bytes() as f64 / 1e6,
-        m.total_offered_bytes() as f64 / 1e6,
-        100.0 * m.byte_delivery_ratio()
-    );
-    for cause in DropCause::ALL {
-        let d = m.total_drops(cause);
-        if d > 0 {
-            println!("  drops[{cause}] = {d}");
-        }
-    }
-    let covered: u64 = m.lcs.iter().map(|l| l.covered_packets).sum();
-    if covered > 0 {
-        println!("  covered packets (via EIB) = {covered}");
-    }
-    println!("  mean measured LC availability = {mean_avail:.4}");
+fn cell_delivery(cell: &Json) -> f64 {
+    cell.get("delivery")
+        .and_then(|d| d.get("mean"))
+        .and_then(Json::as_f64)
+        .unwrap_or(f64::NAN)
 }
 
 fn main() {
-    // Accelerate dependably: inflate the paper's failure rates x1000
-    // (MTTF 50000 h -> 50 h) while keeping the 3 h repair, then map
-    // hours to milliseconds of simulated time. A 40 ms run now sees
-    // several failure/repair cycles per card with ~6% downtime each.
-    let mut injector = FaultInjector::new(3.0, FaultGranularity::PerComponent);
-    injector.rates = dra::core::montecarlo::inflated_rates(1000.0);
-    let scale = 4e-3 / 50.0;
-    let horizon = 40e-3;
-    let seed = 2026;
-
-    let base = BdrConfig {
-        n_lcs: 6,
-        load: 0.25,
-        faults: Some(FaultInjector {
-            granularity: FaultGranularity::WholeLc,
-            ..injector.clone()
-        }),
-        fault_delay_scale: scale,
-        ..BdrConfig::default()
-    };
-
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = registry::build("faceoff", quick).expect("built-in faceoff spec");
+    println!("Fault-injection campaign `{}`:", spec.name);
+    println!("  {}", spec.description);
     println!(
-        "Fault-injection campaign: 6 cards, 25% load, {:.0} ms horizon,",
-        horizon * 1e3
+        "  {} cells, master seed {}, digest {}",
+        spec.cells.len(),
+        spec.master_seed,
+        spec.digest()
     );
-    println!("inflated failures (LC MTTF ≈ 4 ms), repairs ≈ 0.24 ms.");
 
-    let mut bdr = BdrRouter::simulation(base.clone(), seed);
-    bdr.run_until(horizon);
-    report("BDR baseline", &bdr.model().metrics, horizon);
+    let outcome = run(&spec, &RunOptions::default()).expect("campaign runs");
+    let artifact = outcome.artifact.expect("campaign completed");
+    let (headers, rows) = artifact_table(&artifact);
+    print_table(
+        "BDR vs DRA under identical sampled fault/repair schedules",
+        &headers,
+        &rows,
+    );
 
-    let mut dra_cfg = DraConfig {
-        router: base,
-        ..Default::default()
-    };
-    dra_cfg.router.faults = Some(injector);
-    let mut dra = DraRouter::simulation(dra_cfg, seed);
-    dra.run_until(horizon);
-    report("DRA", &dra.model().metrics, horizon);
+    // Paired contrast: cells come in (BDR, DRA) pairs per load.
+    let cells = artifact
+        .get("cells")
+        .and_then(Json::as_arr)
+        .expect("artifact cells");
+    println!();
+    for (pair, &load) in cells.chunks(2).zip(registry::faceoff_loads(quick)) {
+        let (bdr, dra) = (cell_delivery(&pair[0]), cell_delivery(&pair[1]));
+        println!(
+            "  load {:>3.0}%: DRA recovers {:.2} points of delivery over BDR \
+             ({:.2}% -> {:.2}%)",
+            load * 100.0,
+            100.0 * (dra - bdr),
+            100.0 * bdr,
+            100.0 * dra,
+        );
+    }
 
-    println!("\nReading: under the same offered traffic, DRA converts most of");
-    println!("BDR's ingress/egress-down losses into covered deliveries; its");
-    println!("measured availability only dips when the EIB itself (or a PIU)");
-    println!("is down, or no same-protocol peer remains.");
+    println!("\nReading: under the same offered traffic and the same fault");
+    println!("timelines, DRA converts most of BDR's ingress/egress-down losses");
+    println!("into covered deliveries over the EIB; its availability only dips");
+    println!("when the EIB itself (or a PIU) is down, or no same-protocol peer");
+    println!("remains.");
 }

@@ -12,9 +12,12 @@
 //! * [`router`] — the BDR (basic distributed router) baseline simulator.
 //! * [`core`] — the DRA architecture itself plus the paper's
 //!   dependability and degradation analyses.
+//! * [`campaign`] — the declarative, parallel, deterministic
+//!   experiment-campaign engine and its JSON artifact pipeline.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
+pub use dra_campaign as campaign;
 pub use dra_core as core;
 pub use dra_des as des;
 pub use dra_linalg as linalg;

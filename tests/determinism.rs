@@ -3,6 +3,8 @@
 //! injection, CSMA/CD backoff, fabric scheduling, and Monte Carlo —
 //! the property every comparison experiment in EXPERIMENTS.md rests on.
 
+use dra::campaign::engine::{run, RunOptions};
+use dra::campaign::registry;
 use dra::core::montecarlo::{inflated_rates, run_dra_mc, McConfig, McMode, RepairDist};
 use dra::core::sim::{DraConfig, DraRouter};
 use dra::router::bdr::{BdrConfig, BdrRouter};
@@ -69,6 +71,34 @@ fn bdr_with_stochastic_faults_is_reproducible() {
 fn dra_with_stochastic_faults_is_reproducible() {
     assert_eq!(fingerprint_dra(9), fingerprint_dra(9));
     assert_ne!(fingerprint_dra(9), fingerprint_dra(10));
+}
+
+/// The campaign engine's core contract: the artifact is a pure
+/// function of the spec, independent of the worker count. Sampled
+/// fault schedules, windowed measurement, and the JSON render all sit
+/// on this path.
+#[test]
+fn campaign_artifact_is_byte_identical_across_worker_counts() {
+    let spec = registry::build("faceoff", true).expect("built-in spec");
+    let render = |workers: usize| {
+        let outcome = run(
+            &spec,
+            &RunOptions {
+                workers,
+                ..RunOptions::default()
+            },
+        )
+        .expect("campaign runs");
+        outcome
+            .artifact
+            .expect("campaign completed")
+            .to_string_pretty()
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    assert_eq!(serial, parallel, "artifact depends on worker count");
+    // And reruns reproduce exactly (no hidden global state).
+    assert_eq!(serial, render(1));
 }
 
 #[test]

@@ -128,10 +128,7 @@ fn oq_queue_depth_exceeds_voq_under_hotspot() {
         xb.schedule_slot();
         oq.schedule_slot();
     }
-    let max_voq = (0..n as usize)
-        .map(|i| xb.voq_len(i, 0))
-        .max()
-        .unwrap();
+    let max_voq = (0..n as usize).map(|i| xb.voq_len(i, 0)).max().unwrap();
     assert!(
         oq.queue_len(0) > max_voq,
         "hotspot backlog should concentrate in the OQ: oq={} voq_max={max_voq}",

@@ -1,0 +1,73 @@
+//! `any::<T>()` for the primitive types the workspace draws.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::marker::PhantomData;
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Draw one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy over the full domain of `T` (see [`any`]).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(PhantomData<T>);
+
+/// The canonical strategy for `T`: uniform over the whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    /// Finite floats in `[-1e9, 1e9]` — full-domain floats (NaN, ∞)
+    /// break most numeric properties and upstream's `any::<f64>()` is
+    /// rarely what tests want anyway.
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        (rng.next_f64() - 0.5) * 2e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn any_u32_hits_both_halves() {
+        let mut rng = TestRng::from_seed(5);
+        let s = any::<u32>();
+        let mut high = false;
+        let mut low = false;
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            high |= v > u32::MAX / 2;
+            low |= v <= u32::MAX / 2;
+        }
+        assert!(high && low);
+    }
+}

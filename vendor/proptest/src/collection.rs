@@ -1,0 +1,78 @@
+//! `proptest::collection::vec` — vectors of strategy-generated items.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::{Range, RangeInclusive};
+
+/// Something usable as the size argument of [`vec`].
+pub trait SizeRange {
+    /// Inclusive `(min, max)` length bounds.
+    fn bounds(&self) -> (usize, usize);
+}
+
+impl SizeRange for usize {
+    fn bounds(&self) -> (usize, usize) {
+        (*self, *self)
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty vec size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn bounds(&self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty vec size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing `Vec<S::Value>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl SizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+/// Result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.min == self.max {
+            self.min
+        } else {
+            self.min + rng.below((self.max - self.min + 1) as u64) as usize
+        };
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::from_seed(8);
+        let fixed = vec(0u8..10, 5usize);
+        assert_eq!(fixed.generate(&mut rng).len(), 5);
+
+        let ranged = vec(0u8..10, 1..4);
+        for _ in 0..100 {
+            let v = ranged.generate(&mut rng);
+            assert!((1..4).contains(&v.len()));
+        }
+
+        let incl = vec(0u8..10, 2..=2);
+        assert_eq!(incl.generate(&mut rng).len(), 2);
+    }
+}

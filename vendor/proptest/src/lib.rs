@@ -1,0 +1,279 @@
+//! Offline vendored subset of the `proptest` 1.x API.
+//!
+//! The build environment has no crates.io access; this crate
+//! implements the slice of proptest this workspace uses:
+//!
+//! * the [`proptest!`], [`prop_compose!`], [`prop_assert!`],
+//!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`]
+//!   macros;
+//! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
+//!   ranges, tuples, and [`collection::vec`];
+//! * [`arbitrary::any`] for the primitive types the tests draw;
+//! * a deterministic runner ([`test_runner::TestRng`]) seeded from the
+//!   test's name, so every CI run explores the same cases.
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the case number; rerunning reproduces it exactly because the runner
+//! is deterministic), and strategies are simple generators rather than
+//! value trees.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_compose, prop_oneof,
+        proptest,
+    };
+}
+
+/// The macro that wraps property-test functions.
+///
+/// Supported grammar (the subset the workspace uses):
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))] // optional
+///     /// docs and attributes pass through
+///     #[test]
+///     fn name(x in strategy_expr, y in other_strategy) { body }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($config); $($rest)*);
+    };
+    (@impl ($config:expr); $($(#[$meta:meta])* fn $name:ident(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng =
+                    $crate::test_runner::TestRng::from_name(stringify!($name));
+                let mut accepted: u32 = 0;
+                let mut rejected: u32 = 0;
+                while accepted < config.cases {
+                    $(let $arg =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    let outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body;
+                        ::std::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => {
+                            rejected += 1;
+                            assert!(
+                                rejected <= config.max_global_rejects,
+                                "proptest {}: too many prop_assume! rejections \
+                                 ({rejected})",
+                                stringify!($name),
+                            );
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(msg),
+                        ) => {
+                            panic!(
+                                "proptest {} failed at case {} (deterministic \
+                                 runner, rerun reproduces): {}",
+                                stringify!($name),
+                                accepted + 1,
+                                msg,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @impl ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        );
+    };
+}
+
+/// Compose a parameterised strategy out of other strategies:
+///
+/// ```ignore
+/// prop_compose! {
+///     fn pair(n: usize)(a in 0..n, b in 0..n) -> (usize, usize) { (a, b) }
+/// }
+/// ```
+#[macro_export]
+macro_rules! prop_compose {
+    ($(#[$meta:meta])* $vis:vis fn $name:ident($($param:ident: $pty:ty),* $(,)?)(
+        $($arg:pat in $strat:expr),+ $(,)?
+    ) -> $out:ty $body:block) => {
+        $(#[$meta])*
+        $vis fn $name($($param: $pty),*)
+            -> impl $crate::strategy::Strategy<Value = $out>
+        {
+            $crate::strategy::Strategy::prop_map(
+                ($($strat,)+),
+                move |($($arg,)+)| $body,
+            )
+        }
+    };
+}
+
+/// Assert inside a property body; failure aborts the case with a
+/// message instead of unwinding through the runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`): {}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r,
+            format!($($fmt)+),
+        );
+    }};
+}
+
+/// `assert_ne!` analogue of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`): {}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            format!($($fmt)+),
+        );
+    }};
+}
+
+/// Uniform choice among strategies producing the same value type.
+/// (Upstream also accepts `weight => strategy` arms; the workspace
+/// only uses the unweighted form.)
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $(::std::boxed::Box::new($strat),)+
+        ])
+    };
+}
+
+/// Discard the current case (counted against the rejection budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..8, y in -1.0..1.0_f64) {
+            prop_assert!((3..8).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn tuples_and_maps(v in crate::collection::vec((0u8..=32, any::<bool>()), 1..9)) {
+            prop_assert!(!v.is_empty() && v.len() < 9);
+            for (len, _flag) in &v {
+                prop_assert!(*len <= 32);
+            }
+        }
+    }
+
+    prop_compose! {
+        fn bounded_pair(n: usize)(a in 0..n, b in 0..n) -> (usize, usize) {
+            (a, b)
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_respects_params(p in bounded_pair(5)) {
+            prop_assert!(p.0 < 5 && p.1 < 5);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::strategy::Strategy;
+        let s = 0u64..1000;
+        let mut a = crate::test_runner::TestRng::from_name("x");
+        let mut b = crate::test_runner::TestRng::from_name("x");
+        let va: Vec<u64> = (0..16).map(|_| s.generate(&mut a)).collect();
+        let vb: Vec<u64> = (0..16).map(|_| s.generate(&mut b)).collect();
+        assert_eq!(va, vb);
+    }
+}

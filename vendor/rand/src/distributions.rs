@@ -1,0 +1,77 @@
+//! The `Standard` distribution and the `Distribution` trait.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution per type: uniform over the full integer
+/// domain, uniform in `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+impl Distribution<f64> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 high bits → uniform multiples of 2^-53 in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<bool> for Standard {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::SmallRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn f32_in_unit_interval() {
+        let mut r = SmallRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x: f32 = Standard.sample(&mut r);
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = SmallRng::seed_from_u64(4);
+        let heads = (0..10_000)
+            .filter(|_| {
+                let b: bool = Standard.sample(&mut r);
+                b
+            })
+            .count();
+        assert!((heads as f64 / 10_000.0 - 0.5).abs() < 0.02);
+    }
+}
