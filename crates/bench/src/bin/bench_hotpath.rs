@@ -1,0 +1,474 @@
+//! Hot-path throughput harness: one `BENCH_*.json` artifact per PR.
+//!
+//! Unlike the criterion microbenches (statistical, human-read), this
+//! harness produces a small machine-readable artifact so successive
+//! PRs can be compared number-to-number:
+//!
+//! * **DES kernel** — events/second through [`dra_des::Simulation`]
+//!   for a depth-1 chain, wide fan-outs, and a bimodal mix with
+//!   far-future stragglers (the shape fault-injection runs produce);
+//! * **iSLIP fabric** — matched slots/second and cells/second of
+//!   [`dra_router::fabric::Crossbar::schedule_slot`] under saturated
+//!   uniform backlog at several port counts;
+//! * **end-to-end** — wall-clock events/second and delivered
+//!   cells/second for one BDR + DRA faceoff cell (same seed, same
+//!   scripted SRU failure — the campaign grid's unit of work).
+//!
+//! Usage:
+//!
+//! ```text
+//! bench-hotpath [--quick] [--out PATH] [--baseline PATH]
+//! bench-hotpath --check PATH
+//! ```
+//!
+//! `--baseline` embeds a previous artifact and adds per-entry and
+//! minimum speedup factors; `--check` validates an artifact's schema
+//! (used by CI's bench-smoke job) and exits non-zero on violations.
+
+use dra_campaign::json::{parse, Json};
+use dra_core::sim::{DraConfig, DraRouter};
+use dra_des::{Ctx, Model, Simulation};
+use dra_net::packet::PacketId;
+use dra_net::sar::{Cell, CELL_PAYLOAD};
+use dra_router::bdr::{BdrConfig, BdrRouter};
+use dra_router::components::ComponentKind;
+use dra_router::fabric::Crossbar;
+use std::time::Instant;
+
+/// The artifact format identifier; bump when the layout changes.
+const BENCH_FORMAT: &str = "dra-bench/v1";
+
+// ---------------------------------------------------------------- DES kernel
+
+/// Self-rescheduling chain: exactly one event pending at all times.
+struct Chain {
+    remaining: u64,
+}
+
+impl Model for Chain {
+    type Event = u8;
+    fn handle(&mut self, _ev: u8, ctx: &mut Ctx<'_, u8>) {
+        if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(1.0, 0);
+        }
+    }
+}
+
+/// Keeps `width` events pending at all times (router-like occupancy).
+struct Fanout {
+    remaining: u64,
+    width: u64,
+}
+
+impl Model for Fanout {
+    type Event = u8;
+    fn handle(&mut self, ev: u8, ctx: &mut Ctx<'_, u8>) {
+        if ev == 0 {
+            for _ in 0..self.width {
+                ctx.schedule(1.0, 1);
+            }
+        } else if self.remaining > 0 {
+            self.remaining -= 1;
+            ctx.schedule(1.0, 1);
+        }
+    }
+}
+
+/// A near-term event cluster plus sparse far-future stragglers — the
+/// queue shape produced by packet events mixed with armed fault/repair
+/// timers hours ahead.
+struct Bimodal {
+    remaining: u64,
+    width: u64,
+}
+
+impl Model for Bimodal {
+    type Event = u8;
+    fn handle(&mut self, ev: u8, ctx: &mut Ctx<'_, u8>) {
+        match ev {
+            0 => {
+                for _ in 0..self.width {
+                    ctx.schedule(1.0, 1);
+                }
+                for k in 0..32u64 {
+                    ctx.schedule(1e7 + k as f64, 2);
+                }
+            }
+            1 if self.remaining > 0 => {
+                self.remaining -= 1;
+                ctx.schedule(1.0, 1);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Run one kernel workload `reps` times, keep the best rate.
+fn kernel_entry<M, F>(name: &str, reps: u32, build: F) -> Json
+where
+    M: Model,
+    F: Fn() -> Simulation<M>,
+{
+    let mut best_rate = 0.0f64;
+    let mut events = 0u64;
+    for _ in 0..reps {
+        let mut sim = build();
+        let t0 = Instant::now();
+        events = sim.run_to_completion();
+        let dt = t0.elapsed().as_secs_f64().max(1e-9);
+        best_rate = best_rate.max(events as f64 / dt);
+    }
+    Json::obj(vec![
+        ("name", Json::Str(name.to_string())),
+        ("events", Json::Num(events as f64)),
+        ("events_per_sec", Json::Num(best_rate)),
+    ])
+}
+
+fn bench_des_kernel(quick: bool) -> Json {
+    let n: u64 = if quick { 200_000 } else { 4_000_000 };
+    let reps = if quick { 1 } else { 3 };
+    let entries = vec![
+        kernel_entry("chain", reps, || {
+            let mut sim = Simulation::new(Chain { remaining: n }, 1);
+            sim.schedule(0.0, 0);
+            sim
+        }),
+        kernel_entry("fanout_1024", reps, || {
+            let mut sim = Simulation::new(
+                Fanout {
+                    remaining: n,
+                    width: 1024,
+                },
+                1,
+            );
+            sim.schedule(0.0, 0);
+            sim
+        }),
+        kernel_entry("fanout_8192", reps, || {
+            let mut sim = Simulation::new(
+                Fanout {
+                    remaining: n,
+                    width: 8192,
+                },
+                1,
+            );
+            sim.schedule(0.0, 0);
+            sim
+        }),
+        kernel_entry("bimodal_4096", reps, || {
+            let mut sim = Simulation::new(
+                Bimodal {
+                    remaining: n,
+                    width: 4096,
+                },
+                1,
+            );
+            sim.schedule(0.0, 0);
+            sim
+        }),
+    ];
+    Json::Arr(entries)
+}
+
+// ------------------------------------------------------------- iSLIP fabric
+
+fn saturate(xb: &mut Crossbar, n: usize, per_voq: u64) {
+    for i in 0..n as u16 {
+        for o in 0..n as u16 {
+            for k in 0..per_voq {
+                let _ = xb.enqueue(Cell {
+                    src_lc: i,
+                    dst_lc: o,
+                    packet: PacketId(((i as u64) << 40) | ((o as u64) << 20) | k),
+                    seq: 0,
+                    total: 1,
+                    payload_bytes: CELL_PAYLOAD,
+                });
+            }
+        }
+    }
+}
+
+fn bench_islip(quick: bool) -> Json {
+    let ports: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
+    let reps = if quick { 1 } else { 3 };
+    let mut entries = Vec::new();
+    for &n in ports {
+        let slots: u64 = (if quick { 400_000 } else { 4_000_000 } / n as u64).max(10_000);
+        let mut best_rate = 0.0f64;
+        let mut cells = 0u64;
+        for _ in 0..reps {
+            let mut xb = Crossbar::new(n, 1 << 20, 2, 5, 4);
+            saturate(&mut xb, n, 4096);
+            cells = 0;
+            let t0 = Instant::now();
+            for _ in 0..slots {
+                if xb.is_empty() {
+                    saturate(&mut xb, n, 4096);
+                }
+                cells += xb.schedule_slot().len() as u64;
+            }
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            best_rate = best_rate.max(slots as f64 / dt);
+        }
+        let cells_per_slot = cells as f64 / slots as f64;
+        entries.push(Json::obj(vec![
+            ("ports", Json::Num(n as f64)),
+            ("slots", Json::Num(slots as f64)),
+            ("slots_per_sec", Json::Num(best_rate)),
+            ("cells_per_sec", Json::Num(best_rate * cells_per_slot)),
+        ]));
+    }
+    Json::Arr(entries)
+}
+
+// --------------------------------------------------------------- end-to-end
+
+/// One faceoff cell: 8 cards at load 0.6, an SRU failure mid-run.
+fn bench_end_to_end(quick: bool) -> Json {
+    let horizon = if quick { 3e-3 } else { 30e-3 };
+    let fail_at = horizon / 3.0;
+    let seed = 4242;
+    let reps = if quick { 1 } else { 3 };
+    let cfg = BdrConfig {
+        n_lcs: 8,
+        load: 0.6,
+        ..BdrConfig::default()
+    };
+
+    let mut entries = Vec::new();
+    for arch in ["bdr", "dra"] {
+        let mut best = (0.0f64, 0.0f64); // (events/s, cells/s)
+        let mut events = 0u64;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let (ev, delivered_bytes) = match arch {
+                "bdr" => {
+                    let mut sim = BdrRouter::simulation(cfg.clone(), seed);
+                    sim.run_until(fail_at);
+                    let now = sim.now();
+                    sim.model_mut()
+                        .fail_component_now(0, ComponentKind::Sru, now);
+                    sim.run_until(horizon);
+                    (
+                        sim.events_processed(),
+                        sim.model().metrics.total_delivered_bytes(),
+                    )
+                }
+                _ => {
+                    let dcfg = DraConfig {
+                        router: cfg.clone(),
+                        ..Default::default()
+                    };
+                    let mut sim = DraRouter::simulation(dcfg, seed);
+                    sim.run_until(fail_at);
+                    let now = sim.now();
+                    sim.model_mut()
+                        .fail_component_now(0, ComponentKind::Sru, now);
+                    sim.run_until(horizon);
+                    (
+                        sim.events_processed(),
+                        sim.model().metrics.total_delivered_bytes(),
+                    )
+                }
+            };
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            events = ev;
+            let cells = delivered_bytes as f64 / CELL_PAYLOAD as f64;
+            if ev as f64 / dt > best.0 {
+                best = (ev as f64 / dt, cells / dt);
+            }
+        }
+        entries.push(Json::obj(vec![
+            ("arch", Json::Str(arch.to_string())),
+            ("sim_seconds", Json::Num(horizon)),
+            ("events", Json::Num(events as f64)),
+            ("events_per_sec", Json::Num(best.0)),
+            ("cells_per_sec", Json::Num(best.1)),
+        ]));
+    }
+    Json::Arr(entries)
+}
+
+// ------------------------------------------------------------------ speedup
+
+fn rate_of(entry: &Json, key: &str) -> Option<f64> {
+    entry.get(key).and_then(Json::as_f64)
+}
+
+/// Per-entry current/baseline ratios for one section, matched by `id`.
+fn section_speedups(current: &Json, baseline: &Json, id: &str, rate: &str) -> Vec<(String, f64)> {
+    let (Some(cur), Some(base)) = (current.as_arr(), baseline.as_arr()) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for c in cur {
+        let (Some(cid), Some(crate_)) = (c.get(id), rate_of(c, rate)) else {
+            continue;
+        };
+        let matched = base
+            .iter()
+            .find(|b| b.get(id) == Some(cid))
+            .and_then(|b| rate_of(b, rate));
+        if let Some(brate) = matched {
+            if brate > 0.0 {
+                let label = match cid {
+                    Json::Str(s) => s.clone(),
+                    Json::Num(x) => format!("{x}"),
+                    _ => continue,
+                };
+                out.push((label, crate_ / brate));
+            }
+        }
+    }
+    out
+}
+
+fn speedup_section(artifact: &Json, baseline: &Json) -> Json {
+    let mut pairs = Vec::new();
+    let mut push_min = |name: &str, ratios: &[(String, f64)]| {
+        if ratios.is_empty() {
+            return;
+        }
+        let entries: Vec<(String, Json)> = ratios
+            .iter()
+            .map(|(k, v)| (k.clone(), Json::Num(*v)))
+            .collect();
+        let min = ratios.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        pairs.push((name.to_string(), Json::Obj(entries)));
+        pairs.push((format!("{name}_min"), Json::Num(min)));
+    };
+    for (section, id, rate) in [
+        ("des_kernel", "name", "events_per_sec"),
+        ("islip", "ports", "slots_per_sec"),
+        ("end_to_end", "arch", "events_per_sec"),
+    ] {
+        if let (Some(c), Some(b)) = (artifact.get(section), baseline.get(section)) {
+            push_min(section, &section_speedups(c, b, id, rate));
+        }
+    }
+    Json::Obj(pairs)
+}
+
+// ----------------------------------------------------------------- checking
+
+/// Validate an artifact against the `dra-bench/v1` schema.
+fn check(artifact: &Json) -> Result<(), String> {
+    match artifact.get("format").and_then(Json::as_str) {
+        Some(BENCH_FORMAT) => {}
+        other => return Err(format!("format must be {BENCH_FORMAT:?}, got {other:?}")),
+    }
+    artifact
+        .get("quick")
+        .filter(|q| matches!(q, Json::Bool(_)))
+        .ok_or("missing boolean `quick`")?;
+    let sections: [(&str, &[&str]); 3] = [
+        ("des_kernel", &["name", "events", "events_per_sec"]),
+        (
+            "islip",
+            &["ports", "slots", "slots_per_sec", "cells_per_sec"],
+        ),
+        (
+            "end_to_end",
+            &[
+                "arch",
+                "sim_seconds",
+                "events",
+                "events_per_sec",
+                "cells_per_sec",
+            ],
+        ),
+    ];
+    for (section, fields) in sections {
+        let arr = artifact
+            .get(section)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("missing array `{section}`"))?;
+        if arr.is_empty() {
+            return Err(format!("`{section}` must not be empty"));
+        }
+        for (i, entry) in arr.iter().enumerate() {
+            for &field in fields {
+                let v = entry
+                    .get(field)
+                    .ok_or_else(|| format!("{section}[{i}] missing `{field}`"))?;
+                if let Some(x) = v.as_f64() {
+                    if !(x.is_finite() && x >= 0.0) {
+                        return Err(format!("{section}[{i}].{field} not a finite rate: {x}"));
+                    }
+                    if field.ends_with("_per_sec") && x == 0.0 {
+                        return Err(format!("{section}[{i}].{field} is zero"));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------------- main
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = arg_value(&args, "--check") {
+        let text =
+            std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let artifact = parse(&text).unwrap_or_else(|e| panic!("{path}: bad JSON: {e:?}"));
+        match check(&artifact) {
+            Ok(()) => {
+                println!("{path}: OK ({BENCH_FORMAT})");
+                return;
+            }
+            Err(msg) => {
+                eprintln!("{path}: schema violation: {msg}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    let quick = args.iter().any(|a| a == "--quick");
+    eprintln!("bench-hotpath: DES kernel ...");
+    let des = bench_des_kernel(quick);
+    eprintln!("bench-hotpath: iSLIP fabric ...");
+    let islip = bench_islip(quick);
+    eprintln!("bench-hotpath: end-to-end faceoff cell ...");
+    let e2e = bench_end_to_end(quick);
+
+    let mut artifact = Json::obj(vec![
+        ("format", Json::Str(BENCH_FORMAT.to_string())),
+        ("quick", Json::Bool(quick)),
+        ("des_kernel", des),
+        ("islip", islip),
+        ("end_to_end", e2e),
+    ]);
+
+    if let Some(path) = arg_value(&args, "--baseline") {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+        let baseline = parse(&text).unwrap_or_else(|e| panic!("{path}: bad JSON: {e:?}"));
+        let speedup = speedup_section(&artifact, &baseline);
+        if let Json::Obj(pairs) = &mut artifact {
+            pairs.push(("baseline".to_string(), baseline));
+            pairs.push(("speedup".to_string(), speedup));
+        }
+    }
+
+    check(&artifact).expect("freshly produced artifact must satisfy its own schema");
+    let rendered = artifact.to_string_pretty();
+    match arg_value(&args, "--out") {
+        Some(path) => {
+            std::fs::write(&path, rendered + "\n")
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("bench-hotpath: wrote {path}");
+        }
+        None => println!("{rendered}"),
+    }
+}

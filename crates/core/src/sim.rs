@@ -291,6 +291,10 @@ pub struct DraRouter {
     slot_time_s: f64,
     slot_scheduled: bool,
     capacity_credit: f64,
+    /// Reused copy of the current fabric slot's cells, so delivery can
+    /// run `&mut self` handlers without holding the fabric's borrow
+    /// (and without allocating per slot).
+    slot_buf: Vec<dra_net::sar::Cell>,
     /// Per-flow data-line virtual finish time.
     eib_busy_until: HashMap<u16, f64>,
     /// Dedicated per-LC traffic RNG streams (see `DraRouter::new`).
@@ -393,6 +397,7 @@ impl DraRouter {
             slot_time_s,
             slot_scheduled: false,
             capacity_credit: 0.0,
+            slot_buf: Vec::new(),
             eib_busy_until: HashMap::new(),
             lp_established: std::collections::HashSet::new(),
             b_prom: HashMap::new(),
@@ -1073,15 +1078,22 @@ impl DraRouter {
     fn handle_fabric_slot(&mut self, ctx: &mut Ctx<'_, DraEvent>) {
         self.slot_scheduled = false;
         if !self.fabric.operational() {
+            // Slot train stops with the fabric; stale credit must not
+            // fund an above-capacity burst once planes return.
+            self.capacity_credit = 0.0;
             return;
         }
         self.capacity_credit += self.fabric.capacity_fraction();
         if self.capacity_credit >= 1.0 {
             self.capacity_credit -= 1.0;
             let now = ctx.now();
-            for cell in self.fabric.schedule_slot() {
+            // Copy the slot out of the fabric-owned buffer: delivery
+            // needs `&mut self` for reassembly and stage dispatch.
+            let mut slot = std::mem::take(&mut self.slot_buf);
+            slot.extend_from_slice(self.fabric.schedule_slot());
+            for cell in &slot {
                 let dst = cell.dst_lc;
-                match self.linecards[dst as usize].reassembler.push(&cell, now) {
+                match self.linecards[dst as usize].reassembler.push(cell, now) {
                     Ok(Some((packet_id, _bytes))) => {
                         if let Some((meta, stages, idx)) = self.in_fabric.remove(&packet_id) {
                             ctx.schedule(0.0, DraEvent::StageStart { meta, stages, idx });
@@ -1091,8 +1103,15 @@ impl DraRouter {
                     Err(_) => {}
                 }
             }
+            slot.clear();
+            self.slot_buf = slot;
         }
         self.ensure_fabric_slot(ctx);
+        if !self.slot_scheduled {
+            // Queue drained: forfeit fractional credit rather than
+            // banking it across the idle gap (see the BDR twin).
+            self.capacity_credit = 0.0;
+        }
     }
 
     fn handle_purge(&mut self, ctx: &mut Ctx<'_, DraEvent>) {

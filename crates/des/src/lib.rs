@@ -6,6 +6,9 @@
 //! * [`sim`] — the kernel: a [`sim::Simulation`] drives a user-supplied
 //!   [`sim::Model`] by delivering events in (time, insertion-order)
 //!   order. Same seed, same event sequence — bit-for-bit reproducible.
+//! * [`calendar`] — the calendar-queue scheduler under the kernel:
+//!   O(1) amortized enqueue/dequeue with the same total order a binary
+//!   heap over `(time, seq)` would produce.
 //! * [`random`] — inverse-transform samplers (exponential, Pareto,
 //!   discrete empirical, …) over any [`rand::Rng`], so no extra
 //!   distribution crates are needed.
@@ -15,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod queueing;
 pub mod random;
 pub mod sim;

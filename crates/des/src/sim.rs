@@ -10,15 +10,19 @@
 //!   instant are delivered in the order they were scheduled. This is
 //!   what makes runs reproducible across platforms: `f64` ties are
 //!   broken deterministically.
+//! * The queue itself is a [`CalendarQueue`] — O(1) amortized
+//!   push/pop against the O(log n) of the binary heap it replaced,
+//!   with the identical `(time, seq)` pop order, so traces (and the
+//!   campaign artifacts built from them) are byte-for-byte unchanged
+//!   across the swap.
 //! * Handlers receive a [`Ctx`], which lets them read the clock, draw
 //!   random numbers, schedule further events, and request a stop. New
-//!   events go straight into the heap (the `Ctx` borrows it), so there
-//!   is no per-event buffer allocation.
+//!   events go straight into the calendar (the `Ctx` borrows it), so
+//!   there is no per-event buffer allocation.
 
+use crate::calendar::CalendarQueue;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// A simulation model: owns all mutable world state and handles events.
 pub trait Model {
@@ -29,42 +33,11 @@ pub trait Model {
     fn handle(&mut self, event: Self::Event, ctx: &mut Ctx<'_, Self::Event>);
 }
 
-/// An entry in the event queue.
-struct Scheduled<E> {
-    time: f64,
-    seq: u64,
-    event: E,
-}
-
-impl<E> PartialEq for Scheduled<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Scheduled<E> {}
-
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we want earliest first.
-        // Times are finite by construction (schedule() validates).
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("event times are finite")
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Handler-side view of the simulation: clock, RNG, scheduling, stop.
 pub struct Ctx<'a, E> {
     now: f64,
     seq: &'a mut u64,
-    queue: &'a mut BinaryHeap<Scheduled<E>>,
+    queue: &'a mut CalendarQueue<E>,
     rng: &'a mut SmallRng,
     stop: &'a mut bool,
 }
@@ -88,11 +61,7 @@ impl<'a, E> Ctx<'a, E> {
         );
         let seq = *self.seq;
         *self.seq += 1;
-        self.queue.push(Scheduled {
-            time: self.now + delay,
-            seq,
-            event,
-        });
+        self.queue.push(self.now + delay, seq, event);
     }
 
     /// Schedule `event` at absolute time `at` (must be ≥ now).
@@ -104,11 +73,7 @@ impl<'a, E> Ctx<'a, E> {
         );
         let seq = *self.seq;
         *self.seq += 1;
-        self.queue.push(Scheduled {
-            time: at,
-            seq,
-            event,
-        });
+        self.queue.push(at, seq, event);
     }
 
     /// The simulation's random number generator.
@@ -149,7 +114,7 @@ impl<'a, E> Ctx<'a, E> {
 /// ```
 pub struct Simulation<M: Model> {
     model: M,
-    queue: BinaryHeap<Scheduled<M::Event>>,
+    queue: CalendarQueue<M::Event>,
     now: f64,
     seq: u64,
     rng: SmallRng,
@@ -162,7 +127,7 @@ impl<M: Model> Simulation<M> {
     pub fn new(model: M, seed: u64) -> Self {
         Simulation {
             model,
-            queue: BinaryHeap::new(),
+            queue: CalendarQueue::new(),
             now: 0.0,
             seq: 0,
             rng: SmallRng::seed_from_u64(seed),
@@ -214,11 +179,7 @@ impl<M: Model> Simulation<M> {
         );
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Scheduled {
-            time: self.now + delay,
-            seq,
-            event,
-        });
+        self.queue.push(self.now + delay, seq, event);
     }
 
     /// Deliver the next event, if any. Returns its timestamp.
@@ -226,9 +187,9 @@ impl<M: Model> Simulation<M> {
         if self.stop {
             return None;
         }
-        let next = self.queue.pop()?;
-        debug_assert!(next.time >= self.now, "time went backwards");
-        self.now = next.time;
+        let (time, _seq, event) = self.queue.pop()?;
+        debug_assert!(time >= self.now, "time went backwards");
+        self.now = time;
         self.events_processed += 1;
         let mut ctx = Ctx {
             now: self.now,
@@ -237,7 +198,7 @@ impl<M: Model> Simulation<M> {
             rng: &mut self.rng,
             stop: &mut self.stop,
         };
-        self.model.handle(next.event, &mut ctx);
+        self.model.handle(event, &mut ctx);
         Some(self.now)
     }
 
@@ -250,12 +211,23 @@ impl<M: Model> Simulation<M> {
         assert!(horizon.is_finite() && horizon >= self.now);
         let start = self.events_processed;
         while !self.stop {
-            match self.queue.peek() {
-                Some(head) if head.time <= horizon => {
-                    self.step();
-                }
-                _ => break,
-            }
+            // A single bounded pop both finds the head and removes it
+            // when in range — no separate peek pass, and a miss caches
+            // the found minimum so the next call stays O(1).
+            let Some((time, _seq, event)) = self.queue.pop_at_or_before(horizon) else {
+                break;
+            };
+            debug_assert!(time >= self.now, "time went backwards");
+            self.now = time;
+            self.events_processed += 1;
+            let mut ctx = Ctx {
+                now: self.now,
+                seq: &mut self.seq,
+                queue: &mut self.queue,
+                rng: &mut self.rng,
+                stop: &mut self.stop,
+            };
+            self.model.handle(event, &mut ctx);
         }
         if !self.stop {
             self.now = horizon;

@@ -217,12 +217,18 @@ impl LogHistogram {
 
     /// Approximate quantile (returns the geometric midpoint of the
     /// bucket containing quantile `q` in `[0, 1]`).
+    ///
+    /// `q = 0.0` is the minimum observation's bucket — i.e. the first
+    /// *non-empty* bucket, not bucket 0 (which may hold no mass).
     pub fn quantile(&self, q: f64) -> f64 {
         assert!((0.0..=1.0).contains(&q));
         if self.total == 0 {
             return f64::NAN;
         }
-        let target = (q * self.total as f64).ceil() as u64;
+        // `q = 0` would give target 0, which every prefix sum
+        // satisfies — clamp to 1 so the scan still has to reach the
+        // first observation.
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
         let mut acc = self.underflow;
         if acc >= target && self.underflow > 0 {
             return self.lo;
@@ -254,6 +260,11 @@ impl LogHistogram {
 /// Splits the series into `batches` contiguous batches, averages each,
 /// and treats batch means as independent — the textbook method for DES
 /// output analysis.
+///
+/// Every sample is used: when `samples.len()` is not a multiple of
+/// `batches`, the trailing `samples.len() % batches` observations fold
+/// into the final batch (its mean is taken over the longer chunk), so
+/// the CI really covers as many samples as the caller supplied.
 pub fn batch_means_ci(samples: &[f64], batches: usize, z: f64) -> Option<(f64, f64)> {
     if batches < 2 || samples.len() < 2 * batches {
         return None;
@@ -261,8 +272,14 @@ pub fn batch_means_ci(samples: &[f64], batches: usize, z: f64) -> Option<(f64, f
     let per = samples.len() / batches;
     let mut w = Welford::new();
     for b in 0..batches {
-        let chunk = &samples[b * per..(b + 1) * per];
-        let mean = chunk.iter().sum::<f64>() / per as f64;
+        let start = b * per;
+        let end = if b + 1 == batches {
+            samples.len()
+        } else {
+            start + per
+        };
+        let chunk = &samples[start..end];
+        let mean = chunk.iter().sum::<f64>() / chunk.len() as f64;
         w.push(mean);
     }
     Some((w.mean(), w.ci_half_width(z)))
@@ -375,6 +392,47 @@ mod tests {
     }
 
     #[test]
+    fn log_histogram_q0_is_first_nonempty_bucket() {
+        // All mass far above bucket 0: q=0 must not report bucket 0's
+        // midpoint (the old target-0 bug made `acc >= target` pass on
+        // the very first, empty bucket).
+        let mut h = LogHistogram::new(1.0, 1000.0, 30);
+        h.record(100.0);
+        h.record(200.0);
+        h.record(400.0);
+        let q0 = h.quantile(0.0);
+        assert!(
+            (50.0..=150.0).contains(&q0),
+            "q=0 should land in the minimum's bucket, got {q0}"
+        );
+        // And it coincides with the smallest positive quantile.
+        assert_eq!(q0, h.quantile(1e-9));
+    }
+
+    #[test]
+    fn log_histogram_q0_with_underflow_reports_lo() {
+        let mut h = LogHistogram::new(1.0, 10.0, 4);
+        h.record(0.1); // underflow
+        h.record(5.0);
+        assert_eq!(h.quantile(0.0), 1.0);
+    }
+
+    #[test]
+    fn log_histogram_all_mass_in_high_buckets() {
+        let mut h = LogHistogram::new(1e-6, 1.0, 60);
+        for _ in 0..10 {
+            h.record(0.5); // top of the range
+        }
+        let q0 = h.quantile(0.0);
+        let q100 = h.quantile(1.0);
+        assert!(
+            (q0 / 0.5).ln().abs() < 0.3,
+            "q=0 must track the mass at 0.5, got {q0}"
+        );
+        assert_eq!(q0, q100, "single-bucket mass: all quantiles agree");
+    }
+
+    #[test]
     fn batch_means_basic() {
         // Constant series: CI should collapse to zero width.
         let samples = vec![5.0; 100];
@@ -387,6 +445,23 @@ mod tests {
     fn batch_means_requires_enough_data() {
         assert!(batch_means_ci(&[1.0, 2.0], 2, 1.96).is_none());
         assert!(batch_means_ci(&[1.0; 100], 1, 1.96).is_none());
+    }
+
+    #[test]
+    fn batch_means_uses_trailing_remainder() {
+        // 103 samples over 10 batches: the last 13 observations form
+        // the final batch. Put all the signal in the tail — a version
+        // that truncates to 100 samples would report mean 0.
+        let mut samples = vec![0.0; 100];
+        samples.extend_from_slice(&[30.0, 30.0, 30.0]);
+        let (mean, _) = batch_means_ci(&samples, 10, 1.96).unwrap();
+        // Batches 0..9 have mean 0; the last (13 samples, 3 of them
+        // 30.0) has mean 90/13. Grand mean over batch means:
+        let expected = (90.0 / 13.0) / 10.0;
+        assert!(
+            (mean - expected).abs() < 1e-12,
+            "remainder must fold into the last batch: {mean} vs {expected}"
+        );
     }
 
     #[test]

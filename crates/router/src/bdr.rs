@@ -20,7 +20,7 @@ use dra_net::addr::{Ipv4Addr, Ipv4Prefix};
 use dra_net::fib::Fib;
 use dra_net::packet::{Packet, PacketId, PacketIdGen};
 use dra_net::protocol::ProtocolKind;
-use dra_net::sar::{segment, CELL_BYTES};
+use dra_net::sar::{segment, Cell, CELL_BYTES};
 use dra_net::traffic::{PoissonGen, TrafficGen};
 use std::collections::HashMap;
 
@@ -179,6 +179,10 @@ pub struct BdrRouter {
     slot_time_s: f64,
     slot_scheduled: bool,
     capacity_credit: f64,
+    /// Reused copy of the cells moved in the current fabric slot, so
+    /// delivery can run `&mut self` handlers while iterating without
+    /// holding the fabric's borrow (and without allocating per slot).
+    slot_buf: Vec<Cell>,
 }
 
 impl BdrRouter {
@@ -259,6 +263,7 @@ impl BdrRouter {
             slot_time_s,
             slot_scheduled: false,
             capacity_credit: 0.0,
+            slot_buf: Vec::new(),
         }
     }
 
@@ -438,6 +443,10 @@ impl BdrRouter {
         self.slot_scheduled = false;
         if !self.fabric.operational() {
             // Fabric dead: cells stay queued until planes are repaired.
+            // The slot train stops here, so any fractional credit must
+            // not survive to the restart — it would serve an
+            // above-capacity burst the moment planes come back.
+            self.capacity_credit = 0.0;
             return;
         }
         // Degraded fabric: serve slots at the reduced rate by credit.
@@ -445,9 +454,13 @@ impl BdrRouter {
         if self.capacity_credit >= 1.0 {
             self.capacity_credit -= 1.0;
             let now = ctx.now();
-            for cell in self.fabric.schedule_slot() {
+            // Copy the slot's cells out of the fabric-owned buffer:
+            // delivery below needs `&mut self` (metrics, reassembly).
+            let mut slot = std::mem::take(&mut self.slot_buf);
+            slot.extend_from_slice(self.fabric.schedule_slot());
+            for cell in &slot {
                 let egress = cell.dst_lc;
-                match self.linecards[egress as usize].reassembler.push(&cell, now) {
+                match self.linecards[egress as usize].reassembler.push(cell, now) {
                     Ok(Some((packet_id, ip_bytes))) => {
                         let Some(meta) = self.in_flight.remove(&packet_id) else {
                             continue; // stranded overflow remnant
@@ -474,8 +487,17 @@ impl BdrRouter {
                     }
                 }
             }
+            slot.clear();
+            self.slot_buf = slot;
         }
         self.ensure_fabric_slot(ctx);
+        if !self.slot_scheduled {
+            // Queue drained: the slot train stops. Forfeit leftover
+            // fractional credit — banking it across the idle gap would
+            // let a degraded fabric open the next busy period with a
+            // burst above its capacity fraction.
+            self.capacity_credit = 0.0;
+        }
     }
 
     fn handle_fail(&mut self, lc: u16, kind: ComponentKind, gen: u32, ctx: &mut Ctx<'_, BdrEvent>) {
@@ -738,5 +760,53 @@ mod tests {
         sim.run_until(4e-3);
         let m = &sim.model().metrics;
         assert!(m.total_delivered_bytes() > 0);
+    }
+
+    #[test]
+    fn degraded_fabric_credit_does_not_bank_across_idle_gaps() {
+        // 3-of-4 planes (capacity 0.75): a busy period that drains
+        // mid-credit-cycle must not bank the fractional remainder —
+        // the next busy period after an idle gap has to re-earn a full
+        // credit before its first transfer, or degraded fabrics would
+        // open every busy period with an above-capacity burst.
+        let cell = |id: u64| Cell {
+            src_lc: 0,
+            dst_lc: 1,
+            packet: PacketId(id),
+            seq: 0,
+            total: 1,
+            payload_bytes: 48,
+        };
+        // No Start event: the only activity is the slots we inject.
+        let mut sim = Simulation::new(BdrRouter::new(small_config(0.3), 5), 5);
+        sim.model_mut().fabric.fail_plane(); // spare absorbs it
+        sim.model_mut().fabric.fail_plane(); // 3 of 4 required
+        assert_eq!(sim.model().fabric.capacity_fraction(), 0.75);
+
+        // Busy period 1: two cells. Credit walks 0.75 (no serve),
+        // 1.5 (serve), 1.25 (serve, drain) — ending with 0.25 earned
+        // but unspent as the slot train stops.
+        sim.model_mut().fabric.enqueue(cell(1)).unwrap();
+        sim.model_mut().fabric.enqueue(cell(2)).unwrap();
+        sim.schedule(0.0, BdrEvent::FabricSlot);
+        sim.run_until(0.5e-3);
+        assert!(sim.model().fabric.is_empty(), "period 1 should drain");
+
+        // Idle gap, then busy period 2. The first slot after the gap
+        // must NOT transfer: 0.75 credit is below a full slot. Banked
+        // credit (0.25 + 0.75 = 1.0) would serve immediately.
+        sim.model_mut().fabric.enqueue(cell(3)).unwrap();
+        sim.model_mut().fabric.enqueue(cell(4)).unwrap();
+        sim.schedule(0.5e-3, BdrEvent::FabricSlot);
+        sim.step().expect("injected slot should fire");
+        assert_eq!(
+            sim.model().fabric.queued_cells(),
+            2,
+            "first post-idle slot served on banked credit"
+        );
+        // The period still drains at the degraded rate.
+        let horizon = sim.now() + 0.5e-3;
+        sim.run_until(horizon);
+        assert!(sim.model().fabric.is_empty(), "period 2 should drain");
     }
 }

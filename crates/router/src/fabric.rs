@@ -27,6 +27,15 @@ pub struct Crossbar {
     planes_required: usize,
     planes_failed: usize,
     queued_cells: usize,
+    /// Matching scratch, owned so [`Crossbar::schedule_slot`] is
+    /// allocation-free: input -> output, output -> input, and the
+    /// grant phase's output -> input proposals.
+    input_matched: Vec<usize>,
+    output_matched: Vec<usize>,
+    grants: Vec<usize>,
+    /// Cells moved in the most recent slot; `schedule_slot` returns a
+    /// view into this buffer.
+    transferred: Vec<Cell>,
 }
 
 impl Crossbar {
@@ -56,6 +65,10 @@ impl Crossbar {
             planes_required,
             planes_failed: 0,
             queued_cells: 0,
+            input_matched: vec![usize::MAX; n_ports],
+            output_matched: vec![usize::MAX; n_ports],
+            grants: vec![usize::MAX; n_ports],
+            transferred: Vec::with_capacity(n_ports),
         }
     }
 
@@ -118,13 +131,20 @@ impl Crossbar {
         self.planes_failed < self.planes_total
     }
 
-    /// Enqueue a cell into its VOQ; on overflow the cell is returned.
+    /// Enqueue a cell into its VOQ.
+    ///
+    /// The cell is handed back as `Err` when it cannot be accepted —
+    /// either its VOQ is full or it is addressed outside the fabric
+    /// (`src_lc`/`dst_lc` ≥ [`Crossbar::n_ports`]). Misaddressed cells
+    /// follow the overflow contract rather than panicking so a corrupt
+    /// header injected by a fault scenario degrades into a countable
+    /// drop instead of tearing down the whole simulation.
     pub fn enqueue(&mut self, cell: Cell) -> Result<(), Cell> {
-        let idx = self.voq_idx(cell.src_lc as usize, cell.dst_lc as usize);
-        debug_assert!(
-            (cell.src_lc as usize) < self.n_ports && (cell.dst_lc as usize) < self.n_ports,
-            "cell addressed outside fabric"
-        );
+        let (src, dst) = (cell.src_lc as usize, cell.dst_lc as usize);
+        if src >= self.n_ports || dst >= self.n_ports {
+            return Err(cell);
+        }
+        let idx = self.voq_idx(src, dst);
         if self.voq[idx].len() >= self.voq_capacity {
             return Err(cell);
         }
@@ -136,35 +156,45 @@ impl Crossbar {
     /// Run one slot of iSLIP matching and dequeue the matched cells.
     ///
     /// Returns the cells transferred this slot — at most one per input
-    /// and one per output. Pointer updates follow the iSLIP rule:
-    /// only first-iteration matches advance the round-robin pointers,
-    /// which is what desynchronizes them under uniform load.
+    /// and one per output — as a borrow of a buffer the crossbar owns
+    /// and reuses, so a slot allocates nothing. The view is valid
+    /// until the next `schedule_slot` call; callers that need the
+    /// cells across further `&mut` use copy them out first. Pointer
+    /// updates follow the iSLIP rule: only first-iteration matches
+    /// advance the round-robin pointers, which is what desynchronizes
+    /// them under uniform load.
     // The grant/accept phases walk ports by index across four parallel
     // arrays; explicit indices beat zipped iterators for clarity here.
     #[allow(clippy::needless_range_loop)]
-    pub fn schedule_slot(&mut self) -> Vec<Cell> {
+    pub fn schedule_slot(&mut self) -> &[Cell] {
+        self.transferred.clear();
         if !self.operational() || self.queued_cells == 0 {
-            return Vec::new();
+            return &self.transferred;
         }
         let n = self.n_ports;
-        let mut input_matched = vec![usize::MAX; n]; // input -> output
-        let mut output_matched = vec![usize::MAX; n]; // output -> input
+        self.input_matched.fill(usize::MAX); // input -> output
+        self.output_matched.fill(usize::MAX); // output -> input
 
         for iter in 0..self.iterations {
             // Grant phase: each unmatched output picks, round-robin from
             // its pointer, among unmatched inputs with a cell for it.
-            let mut grants: Vec<usize> = vec![usize::MAX; n]; // output -> input
+            self.grants.fill(usize::MAX); // output -> input
             for out in 0..n {
-                if output_matched[out] != usize::MAX {
+                if self.output_matched[out] != usize::MAX {
                     continue;
                 }
                 let start = self.grant_ptr[out];
                 for k in 0..n {
-                    let input = (start + k) % n;
-                    if input_matched[input] == usize::MAX
-                        && !self.voq[self.voq_idx(input, out)].is_empty()
+                    // `start + k` stays below 2n: a conditional
+                    // subtract replaces the div in `% n`.
+                    let mut input = start + k;
+                    if input >= n {
+                        input -= n;
+                    }
+                    if self.input_matched[input] == usize::MAX
+                        && !self.voq[input * n + out].is_empty()
                     {
-                        grants[out] = input;
+                        self.grants[out] = input;
                         break;
                     }
                 }
@@ -173,19 +203,30 @@ impl Crossbar {
             // pointer, among outputs that granted to it.
             let mut any_match = false;
             for input in 0..n {
-                if input_matched[input] != usize::MAX {
+                if self.input_matched[input] != usize::MAX {
                     continue;
                 }
                 let start = self.accept_ptr[input];
                 for k in 0..n {
-                    let out = (start + k) % n;
-                    if grants[out] == input {
-                        input_matched[input] = out;
-                        output_matched[out] = input;
+                    let mut out = start + k;
+                    if out >= n {
+                        out -= n;
+                    }
+                    if self.grants[out] == input {
+                        self.input_matched[input] = out;
+                        self.output_matched[out] = input;
                         any_match = true;
                         if iter == 0 {
-                            self.grant_ptr[out] = (input + 1) % n;
-                            self.accept_ptr[input] = (out + 1) % n;
+                            let mut g = input + 1;
+                            if g >= n {
+                                g -= n;
+                            }
+                            let mut a = out + 1;
+                            if a >= n {
+                                a -= n;
+                            }
+                            self.grant_ptr[out] = g;
+                            self.accept_ptr[input] = a;
                         }
                         break;
                     }
@@ -196,18 +237,17 @@ impl Crossbar {
             }
         }
 
-        let mut transferred = Vec::new();
         for input in 0..n {
-            let out = input_matched[input];
+            let out = self.input_matched[input];
             if out != usize::MAX {
-                let idx = self.voq_idx(input, out);
+                let idx = input * n + out;
                 if let Some(cell) = self.voq[idx].pop_front() {
                     self.queued_cells -= 1;
-                    transferred.push(cell);
+                    self.transferred.push(cell);
                 }
             }
         }
-        transferred
+        &self.transferred
     }
 }
 
@@ -409,6 +449,34 @@ mod tests {
         assert!(rejected.is_err());
         assert_eq!(xb.voq_len(0, 1), 2);
         assert_eq!(xb.queued_cells(), 2);
+    }
+
+    #[test]
+    fn misaddressed_cell_is_rejected_not_panicked() {
+        // A corrupt header pointing outside the fabric follows the
+        // overflow contract: handed back as Err, state untouched.
+        let mut xb = Crossbar::new(4, 16, 2, 5, 4);
+        assert!(xb.enqueue(cell(4, 1, 1, 0, 1)).is_err(), "src out of range");
+        assert!(xb.enqueue(cell(0, 9, 2, 0, 1)).is_err(), "dst out of range");
+        assert_eq!(xb.queued_cells(), 0);
+        // In-range traffic still flows.
+        xb.enqueue(cell(3, 0, 3, 0, 1)).unwrap();
+        assert_eq!(xb.queued_cells(), 1);
+    }
+
+    #[test]
+    fn slot_buffer_is_reused_across_slots() {
+        // The returned view is valid until the next slot; each call
+        // reflects only that slot's transfers.
+        let mut xb = Crossbar::new(2, 16, 1, 1, 1);
+        xb.enqueue(cell(0, 1, 1, 0, 2)).unwrap();
+        xb.enqueue(cell(0, 1, 1, 1, 2)).unwrap();
+        assert_eq!(xb.schedule_slot().len(), 1);
+        assert_eq!(xb.schedule_slot().len(), 1);
+        assert!(
+            xb.schedule_slot().is_empty(),
+            "drained fabric moves nothing"
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@ fn cells_survive_a_trip_through_the_fabric() {
     while !fabric.is_empty() {
         for cell in fabric.schedule_slot() {
             assert_eq!(cell.dst_lc, 2);
-            if let Ok(Some(done)) = reassembler.push(&cell, 0.0) {
+            if let Ok(Some(done)) = reassembler.push(cell, 0.0) {
                 completed = Some(done);
             }
         }
