@@ -8,8 +8,12 @@
 //!   for a depth-1 chain, wide fan-outs, and a bimodal mix with
 //!   far-future stragglers (the shape fault-injection runs produce);
 //! * **iSLIP fabric** — matched slots/second and cells/second of
-//!   [`dra_router::fabric::Crossbar::schedule_slot`] under saturated
-//!   uniform backlog at several port counts;
+//!   [`dra_router::fabric::Crossbar::schedule_slot`] in two regimes:
+//!   the tracked `islip` section runs a sparse scatter backlog at
+//!   64/128/256 ports (arbitration-bound — the matching has to search),
+//!   and `islip_saturated` keeps the saturated-uniform workload at
+//!   8–256 ports (desynchronized pointers hit immediately, so it
+//!   measures queue/memory machinery);
 //! * **end-to-end** — wall-clock events/second and delivered
 //!   cells/second for one BDR + DRA faceoff cell (same seed, same
 //!   scripted SRU failure — the campaign grid's unit of work).
@@ -174,6 +178,10 @@ fn bench_des_kernel(quick: bool) -> Json {
 
 // ------------------------------------------------------------- iSLIP fabric
 
+/// Saturated uniform backlog: every VOQ holds `per_voq` cells. After
+/// iSLIP desynchronizes, every grant pointer sits on a requesting
+/// input, so arbitration scans terminate immediately and the workload
+/// measures queue/memory machinery rather than the matching search.
 fn saturate(xb: &mut Crossbar, n: usize, per_voq: u64) {
     for i in 0..n as u16 {
         for o in 0..n as u16 {
@@ -191,22 +199,52 @@ fn saturate(xb: &mut Crossbar, n: usize, per_voq: u64) {
     }
 }
 
-fn bench_islip(quick: bool) -> Json {
-    let ports: &[usize] = if quick { &[8, 16] } else { &[8, 16, 32, 64] };
-    let reps = if quick { 1 } else { 3 };
+/// Sparse scatter backlog: each input holds cells for 4 pseudo-random
+/// outputs (the occupancy shape a load≤0.6 faceoff actually puts in
+/// the fabric). Most VOQs are empty, so the round-robin selection has
+/// to *search* — this is the regime where arbitration cost, not
+/// memcpy, bounds the simulation.
+fn scatter(xb: &mut Crossbar, n: usize, per_voq: u64) {
+    for i in 0..n as u16 {
+        for t in 0..4u16 {
+            let o = (i.wrapping_mul(37).wrapping_add(t.wrapping_mul(17) + 11)) % n as u16;
+            for k in 0..per_voq {
+                let _ = xb.enqueue(Cell {
+                    src_lc: i,
+                    dst_lc: o,
+                    packet: PacketId(((i as u64) << 40) | ((o as u64) << 20) | k),
+                    seq: 0,
+                    total: 1,
+                    payload_bytes: CELL_PAYLOAD,
+                });
+            }
+        }
+    }
+}
+
+/// One iSLIP throughput sweep over `ports`, reloading the fabric with
+/// `reload` whenever it drains.
+fn islip_sweep(
+    ports: &[usize],
+    reps: u32,
+    quick: bool,
+    per_voq_of: impl Fn(usize) -> u64,
+    reload: impl Fn(&mut Crossbar, usize, u64),
+) -> Json {
     let mut entries = Vec::new();
     for &n in ports {
         let slots: u64 = (if quick { 400_000 } else { 4_000_000 } / n as u64).max(10_000);
+        let per_voq = per_voq_of(n);
         let mut best_rate = 0.0f64;
         let mut cells = 0u64;
         for _ in 0..reps {
-            let mut xb = Crossbar::new(n, 1 << 20, 2, 5, 4);
-            saturate(&mut xb, n, 4096);
+            let mut xb = Crossbar::new(n, per_voq as usize, 2, 5, 4);
+            reload(&mut xb, n, per_voq);
             cells = 0;
             let t0 = Instant::now();
             for _ in 0..slots {
                 if xb.is_empty() {
-                    saturate(&mut xb, n, 4096);
+                    reload(&mut xb, n, per_voq);
                 }
                 cells += xb.schedule_slot().len() as u64;
             }
@@ -222,6 +260,34 @@ fn bench_islip(quick: bool) -> Json {
         ]));
     }
     Json::Arr(entries)
+}
+
+/// The tracked `islip` section: the arbitration-bound scatter workload
+/// at the scaling port counts (64/128/256) this rewrite targets.
+fn bench_islip(quick: bool) -> Json {
+    let ports: &[usize] = if quick { &[64] } else { &[64, 128, 256] };
+    let reps = if quick { 1 } else { 3 };
+    islip_sweep(ports, reps, quick, |_| 64, scatter)
+}
+
+/// The `islip_saturated` continuity section: PR 2's saturated-uniform
+/// workload at every port count. Total backlog is capped (~4M cells)
+/// as n² VOQs multiply, so 256 ports measures the fabric rather than
+/// a multi-gigabyte queue build.
+fn bench_islip_saturated(quick: bool) -> Json {
+    let ports: &[usize] = if quick {
+        &[8, 16]
+    } else {
+        &[8, 16, 32, 64, 128, 256]
+    };
+    let reps = if quick { 1 } else { 3 };
+    islip_sweep(
+        ports,
+        reps,
+        quick,
+        |n| ((1u64 << 22) / (n as u64 * n as u64)).clamp(64, 4096),
+        saturate,
+    )
 }
 
 // --------------------------------------------------------------- end-to-end
@@ -343,6 +409,7 @@ fn speedup_section(artifact: &Json, baseline: &Json) -> Json {
     for (section, id, rate) in [
         ("des_kernel", "name", "events_per_sec"),
         ("islip", "ports", "slots_per_sec"),
+        ("islip_saturated", "ports", "slots_per_sec"),
         ("end_to_end", "arch", "events_per_sec"),
     ] {
         if let (Some(c), Some(b)) = (artifact.get(section), baseline.get(section)) {
@@ -382,25 +449,39 @@ fn check(artifact: &Json) -> Result<(), String> {
         ),
     ];
     for (section, fields) in sections {
-        let arr = artifact
-            .get(section)
-            .and_then(Json::as_arr)
-            .ok_or_else(|| format!("missing array `{section}`"))?;
-        if arr.is_empty() {
-            return Err(format!("`{section}` must not be empty"));
-        }
-        for (i, entry) in arr.iter().enumerate() {
-            for &field in fields {
-                let v = entry
-                    .get(field)
-                    .ok_or_else(|| format!("{section}[{i}] missing `{field}`"))?;
-                if let Some(x) = v.as_f64() {
-                    if !(x.is_finite() && x >= 0.0) {
-                        return Err(format!("{section}[{i}].{field} not a finite rate: {x}"));
-                    }
-                    if field.ends_with("_per_sec") && x == 0.0 {
-                        return Err(format!("{section}[{i}].{field} is zero"));
-                    }
+        check_section(artifact, section, fields)?;
+    }
+    // Optional since dra-bench/v1 artifacts predating the workload
+    // split (BENCH_pr2.json) lack it; validated whenever present.
+    if artifact.get("islip_saturated").is_some() {
+        check_section(
+            artifact,
+            "islip_saturated",
+            &["ports", "slots", "slots_per_sec", "cells_per_sec"],
+        )?;
+    }
+    Ok(())
+}
+
+fn check_section(artifact: &Json, section: &str, fields: &[&str]) -> Result<(), String> {
+    let arr = artifact
+        .get(section)
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("missing array `{section}`"))?;
+    if arr.is_empty() {
+        return Err(format!("`{section}` must not be empty"));
+    }
+    for (i, entry) in arr.iter().enumerate() {
+        for &field in fields {
+            let v = entry
+                .get(field)
+                .ok_or_else(|| format!("{section}[{i}] missing `{field}`"))?;
+            if let Some(x) = v.as_f64() {
+                if !(x.is_finite() && x >= 0.0) {
+                    return Err(format!("{section}[{i}].{field} not a finite rate: {x}"));
+                }
+                if field.ends_with("_per_sec") && x == 0.0 {
+                    return Err(format!("{section}[{i}].{field} is zero"));
                 }
             }
         }
@@ -437,8 +518,10 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick");
     eprintln!("bench-hotpath: DES kernel ...");
     let des = bench_des_kernel(quick);
-    eprintln!("bench-hotpath: iSLIP fabric ...");
+    eprintln!("bench-hotpath: iSLIP fabric (scatter) ...");
     let islip = bench_islip(quick);
+    eprintln!("bench-hotpath: iSLIP fabric (saturated) ...");
+    let islip_sat = bench_islip_saturated(quick);
     eprintln!("bench-hotpath: end-to-end faceoff cell ...");
     let e2e = bench_end_to_end(quick);
 
@@ -447,6 +530,7 @@ fn main() {
         ("quick", Json::Bool(quick)),
         ("des_kernel", des),
         ("islip", islip),
+        ("islip_saturated", islip_sat),
         ("end_to_end", e2e),
     ]);
 

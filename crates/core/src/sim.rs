@@ -294,7 +294,7 @@ pub struct DraRouter {
     /// Reused copy of the current fabric slot's cells, so delivery can
     /// run `&mut self` handlers without holding the fabric's borrow
     /// (and without allocating per slot).
-    slot_buf: Vec<dra_net::sar::Cell>,
+    slot_handles: Vec<dra_router::CellHandle>,
     /// Per-flow data-line virtual finish time.
     eib_busy_until: HashMap<u16, f64>,
     /// Dedicated per-LC traffic RNG streams (see `DraRouter::new`).
@@ -397,7 +397,7 @@ impl DraRouter {
             slot_time_s,
             slot_scheduled: false,
             capacity_credit: 0.0,
-            slot_buf: Vec::new(),
+            slot_handles: Vec::new(),
             eib_busy_until: HashMap::new(),
             lp_established: std::collections::HashSet::new(),
             b_prom: HashMap::new(),
@@ -607,7 +607,7 @@ impl DraRouter {
     }
 
     fn arm_faults_for_lc(&mut self, lc: u16, ctx: &mut Ctx<'_, DraEvent>) {
-        let Some(injector) = self.config.router.faults.clone() else {
+        let Some(injector) = self.config.router.faults.as_ref() else {
             return;
         };
         let scale = self.config.router.fault_delay_scale;
@@ -1087,13 +1087,15 @@ impl DraRouter {
         if self.capacity_credit >= 1.0 {
             self.capacity_credit -= 1.0;
             let now = ctx.now();
-            // Copy the slot out of the fabric-owned buffer: delivery
+            // Collect the slot's winners as 4-byte handles, then take
+            // each cell out of the arena as it is delivered: delivery
             // needs `&mut self` for reassembly and stage dispatch.
-            let mut slot = std::mem::take(&mut self.slot_buf);
-            slot.extend_from_slice(self.fabric.schedule_slot());
-            for cell in &slot {
+            let mut slot = std::mem::take(&mut self.slot_handles);
+            self.fabric.schedule_slot_handles(&mut slot);
+            for &h in &slot {
+                let cell = self.fabric.take_cell(h);
                 let dst = cell.dst_lc;
-                match self.linecards[dst as usize].reassembler.push(cell, now) {
+                match self.linecards[dst as usize].reassembler.push(&cell, now) {
                     Ok(Some((packet_id, _bytes))) => {
                         if let Some((meta, stages, idx)) = self.in_fabric.remove(&packet_id) {
                             ctx.schedule(0.0, DraEvent::StageStart { meta, stages, idx });
@@ -1104,7 +1106,7 @@ impl DraRouter {
                 }
             }
             slot.clear();
-            self.slot_buf = slot;
+            self.slot_handles = slot;
         }
         self.ensure_fabric_slot(ctx);
         if !self.slot_scheduled {
@@ -1144,7 +1146,7 @@ impl Model for DraRouter {
                     ctx.schedule(first.dt, DraEvent::Arrival { lc });
                     self.arm_faults_for_lc(lc, ctx);
                 }
-                if let Some(injector) = self.config.router.faults.clone() {
+                if let Some(injector) = self.config.router.faults.as_ref() {
                     if let Some(d) = injector.arm_eib(ctx.rng()) {
                         ctx.schedule(d * self.config.router.fault_delay_scale, DraEvent::FailEib);
                     }
@@ -1199,7 +1201,7 @@ impl Model for DraRouter {
             }
             DraEvent::RepairEib => {
                 self.repair_eib_now(ctx.now());
-                if let Some(injector) = self.config.router.faults.clone() {
+                if let Some(injector) = self.config.router.faults.as_ref() {
                     if let Some(d) = injector.arm_eib(ctx.rng()) {
                         ctx.schedule(d * self.config.router.fault_delay_scale, DraEvent::FailEib);
                     }

@@ -20,7 +20,10 @@ pub const CELL_HEADER: u32 = 5;
 pub const CELL_BYTES: u32 = CELL_PAYLOAD + CELL_HEADER;
 
 /// One fabric cell carrying a slice of a packet.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: a cell is 16 bytes of plain metadata, and the fabric's
+/// arena relies on moving cells out of slab slots by copy.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Cell {
     /// Source linecard index.
     pub src_lc: u16,
@@ -279,7 +282,7 @@ mod tests {
         let cells = segment(&p, 0, 1);
         let mut r = Reassembler::new();
         r.push(&cells[0], 0.0).unwrap();
-        let mut bad = cells[1].clone();
+        let mut bad = cells[1];
         bad.total = 9;
         assert_eq!(r.push(&bad, 0.0), Err(ReassemblyError::InconsistentTotal));
         assert_eq!(r.in_flight(), 0, "poisoned partial must be dropped");
@@ -288,7 +291,7 @@ mod tests {
     #[test]
     fn seq_out_of_range_rejected() {
         let p = packet(1, 100);
-        let mut bad = segment(&p, 0, 1)[0].clone();
+        let mut bad = segment(&p, 0, 1)[0];
         bad.seq = bad.total;
         let mut r = Reassembler::new();
         assert_eq!(r.push(&bad, 0.0), Err(ReassemblyError::SeqOutOfRange));

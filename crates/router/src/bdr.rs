@@ -10,6 +10,7 @@
 //! is replaced. Ingress traffic at a failed card and traffic destined
 //! to it are dropped and counted.
 
+use crate::arena::CellHandle;
 use crate::components::ComponentKind;
 use crate::fabric::Crossbar;
 use crate::faults::{FaultInjector, Generations};
@@ -20,7 +21,7 @@ use dra_net::addr::{Ipv4Addr, Ipv4Prefix};
 use dra_net::fib::Fib;
 use dra_net::packet::{Packet, PacketId, PacketIdGen};
 use dra_net::protocol::ProtocolKind;
-use dra_net::sar::{segment, Cell, CELL_BYTES};
+use dra_net::sar::{segment, CELL_BYTES};
 use dra_net::traffic::{PoissonGen, TrafficGen};
 use std::collections::HashMap;
 
@@ -182,7 +183,7 @@ pub struct BdrRouter {
     /// Reused copy of the cells moved in the current fabric slot, so
     /// delivery can run `&mut self` handlers while iterating without
     /// holding the fabric's borrow (and without allocating per slot).
-    slot_buf: Vec<Cell>,
+    slot_handles: Vec<CellHandle>,
 }
 
 impl BdrRouter {
@@ -263,7 +264,7 @@ impl BdrRouter {
             slot_time_s,
             slot_scheduled: false,
             capacity_credit: 0.0,
-            slot_buf: Vec::new(),
+            slot_handles: Vec::new(),
         }
     }
 
@@ -340,7 +341,7 @@ impl BdrRouter {
     }
 
     fn arm_faults_for_lc(&mut self, lc: u16, ctx: &mut Ctx<'_, BdrEvent>) {
-        let Some(injector) = self.config.faults.clone() else {
+        let Some(injector) = self.config.faults.as_ref() else {
             return;
         };
         let scale = self.config.fault_delay_scale;
@@ -454,13 +455,15 @@ impl BdrRouter {
         if self.capacity_credit >= 1.0 {
             self.capacity_credit -= 1.0;
             let now = ctx.now();
-            // Copy the slot's cells out of the fabric-owned buffer:
-            // delivery below needs `&mut self` (metrics, reassembly).
-            let mut slot = std::mem::take(&mut self.slot_buf);
-            slot.extend_from_slice(self.fabric.schedule_slot());
-            for cell in &slot {
+            // Collect the slot's winners as 4-byte handles, then take
+            // each cell out of the arena as it is delivered: delivery
+            // below needs `&mut self` (metrics, reassembly).
+            let mut slot = std::mem::take(&mut self.slot_handles);
+            self.fabric.schedule_slot_handles(&mut slot);
+            for &h in &slot {
+                let cell = self.fabric.take_cell(h);
                 let egress = cell.dst_lc;
-                match self.linecards[egress as usize].reassembler.push(cell, now) {
+                match self.linecards[egress as usize].reassembler.push(&cell, now) {
                     Ok(Some((packet_id, ip_bytes))) => {
                         let Some(meta) = self.in_flight.remove(&packet_id) else {
                             continue; // stranded overflow remnant
@@ -488,7 +491,7 @@ impl BdrRouter {
                 }
             }
             slot.clear();
-            self.slot_buf = slot;
+            self.slot_handles = slot;
         }
         self.ensure_fabric_slot(ctx);
         if !self.slot_scheduled {
@@ -577,6 +580,7 @@ impl Model for BdrRouter {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dra_net::sar::Cell;
 
     fn small_config(load: f64) -> BdrConfig {
         BdrConfig {

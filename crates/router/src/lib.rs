@@ -7,8 +7,13 @@
 //! * [`components`] — linecard functional units (PIU, PDLU, SRU, LFE,
 //!   bus controller), their health, and the paper's failure rates.
 //! * [`fabric`] — a cell-slotted crossbar with virtual output queues,
-//!   an iSLIP-style iterative scheduler, and redundant switching
-//!   planes (the paper's Case-1 fault tolerance).
+//!   a bitmask iSLIP iterative scheduler over an indexed cell arena,
+//!   and redundant switching planes (the paper's Case-1 fault
+//!   tolerance).
+//! * [`arena`] — the fixed-slab cell store behind the fabric's
+//!   4-byte handles.
+//! * [`fabric_ref`] — the retained scalar iSLIP arbiter, the
+//!   executable spec for the bitmask arbiter's determinism contract.
 //! * [`linecard`] — per-linecard state: protocol engine, FIB,
 //!   reassembler, port rate.
 //! * [`metrics`] — offered/delivered/drop accounting, latency, and
@@ -25,16 +30,20 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod bdr;
 pub mod components;
 pub mod fabric;
+pub mod fabric_ref;
 pub mod faults;
 pub mod linecard;
 pub mod metrics;
 pub mod rp;
 
+pub use arena::{CellArena, CellHandle};
 pub use bdr::{BdrConfig, BdrRouter};
 pub use components::{ComponentKind, FailureRates, Health, LcComponents};
 pub use fabric::Crossbar;
+pub use fabric_ref::ScalarCrossbar;
 pub use linecard::Linecard;
 pub use metrics::{DropCause, LcMetrics, RouterMetrics};
