@@ -1,11 +1,12 @@
-//! FIB lookup throughput: binary trie vs multibit stride vs the
-//! linear reference, on a synthetic Internet-like table. This is the
-//! LFE's hot path — and the cost a remote lookup (REQ_L) adds is one
-//! of these plus two control packets.
+//! FIB lookup throughput: the compiled DIR-24-8 table (scalar and
+//! batched, as the ingress path issues it) vs binary trie vs multibit
+//! stride vs the linear reference, on a synthetic Internet-like table.
+//! This is the LFE's hot path — and the cost a remote lookup (REQ_L)
+//! adds is one of these plus two control packets.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dra_net::addr::Ipv4Addr;
-use dra_net::fib::{synthetic_routes, Fib, LinearFib, StrideFib, TrieFib};
+use dra_net::fib::{synthetic_routes, Dir248Fib, Fib, LinearFib, StrideFib, TrieFib};
 
 fn build<F: Fib + Default>(routes: &[(dra_net::addr::Ipv4Prefix, u16)]) -> F {
     let mut fib = F::default();
@@ -35,7 +36,24 @@ fn bench(c: &mut Criterion) {
     let trie: TrieFib = build(&routes);
     let stride: StrideFib = build(&routes);
     let linear: LinearFib = build(&routes);
+    let dir: Dir248Fib = build(&routes);
 
+    g.bench_function(BenchmarkId::new("lookup_1k", "dir248"), |b| {
+        b.iter(|| {
+            addrs
+                .iter()
+                .filter_map(|&a| dir.lookup(a))
+                .map(u64::from)
+                .sum::<u64>()
+        })
+    });
+    let mut out = vec![None; addrs.len()];
+    g.bench_function(BenchmarkId::new("lookup_1k", "dir248_batched"), |b| {
+        b.iter(|| {
+            dir.lookup_batch(&addrs, &mut out);
+            out.iter().flatten().copied().map(u64::from).sum::<u64>()
+        })
+    });
     g.bench_function(BenchmarkId::new("lookup_1k", "trie"), |b| {
         b.iter(|| {
             addrs
@@ -70,6 +88,9 @@ fn bench(c: &mut Criterion) {
     });
     g.bench_function("stride_build_10k", |b| {
         b.iter(|| build::<StrideFib>(&routes).len())
+    });
+    g.bench_function("dir248_build_10k", |b| {
+        b.iter(|| build::<Dir248Fib>(&routes).len())
     });
     g.finish();
 }

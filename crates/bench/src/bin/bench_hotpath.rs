@@ -14,6 +14,16 @@
 //!   and `islip_saturated` keeps the saturated-uniform workload at
 //!   8–256 ports (desynchronized pointers hit immediately, so it
 //!   measures queue/memory machinery);
+//! * **lookup** — longest-prefix-match throughput of the compiled
+//!   [`Dir248Fib`] (batched) against [`TrieFib`] (scalar, the
+//!   executable spec) on a 100k-route synthetic table, under a
+//!   uniform-random address stream and a skewed stream with the
+//!   locality real traffic has; each entry carries the in-artifact
+//!   `dir248_vs_trie` ratio;
+//! * **ingress** — packets/second through the allocation-free ingress
+//!   pipeline: the batched LFE front end alone
+//!   ([`ArrivalTrain::pop`] per slot train), then the full SAR round
+//!   trip (pop → segment into cells → egress reassembly);
 //! * **end-to-end** — wall-clock events/second and delivered
 //!   cells/second for one BDR + DRA faceoff cell (same seed, same
 //!   scripted SRU failure — the campaign grid's unit of work).
@@ -32,11 +42,18 @@
 use dra_campaign::json::{parse, Json};
 use dra_core::sim::{DraConfig, DraRouter};
 use dra_des::{Ctx, Model, Simulation};
-use dra_net::packet::PacketId;
-use dra_net::sar::{Cell, CELL_PAYLOAD};
+use dra_net::addr::{Ipv4Addr, Ipv4Prefix};
+use dra_net::fib::{synthetic_routes, Dir248Fib, Fib, TrieFib};
+use dra_net::packet::{Packet, PacketId, PacketIdGen};
+use dra_net::protocol::ProtocolKind;
+use dra_net::sar::{segment_cells, Cell, Reassembler, CELL_PAYLOAD};
+use dra_net::traffic::PoissonGen;
 use dra_router::bdr::{BdrConfig, BdrRouter};
 use dra_router::components::ComponentKind;
 use dra_router::fabric::Crossbar;
+use dra_router::ingress::ArrivalTrain;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
 use std::time::Instant;
 
 /// The artifact format identifier; bump when the layout changes.
@@ -290,6 +307,201 @@ fn bench_islip_saturated(quick: bool) -> Json {
     )
 }
 
+// ------------------------------------------------------------------- lookup
+
+/// A tiny xorshift64 used to pre-draw address streams outside the
+/// timed loops (the bench must time lookups, not random numbers).
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+/// LPM throughput: the compiled DIR-24-8 table (batched lookups, as the
+/// ingress path issues them) against the path-compressed trie that is
+/// its executable spec. Both tables hold the same synthetic route mix;
+/// the hit counts are asserted equal, which also keeps the optimizer
+/// from deleting either loop.
+fn bench_lookup(quick: bool) -> Json {
+    let n_routes = if quick { 20_000 } else { 100_000 };
+    let passes = if quick { 4u32 } else { 64 };
+    let reps = if quick { 1 } else { 3 };
+    let routes = synthetic_routes(n_routes, 64, 0xF1B);
+    let mut dir = Dir248Fib::new();
+    let mut trie = TrieFib::new();
+    for &(p, nh) in &routes {
+        dir.insert(p, nh);
+        trie.insert(p, nh);
+    }
+
+    const STREAM: usize = 1 << 16;
+    let mut entries = Vec::new();
+    for stream in ["uniform", "skewed"] {
+        let mut state = 0x5EED_0BAD_u64 | 1;
+        let addrs: Vec<Ipv4Addr> = (0..STREAM)
+            .map(|_| {
+                let r = xorshift(&mut state);
+                if stream == "uniform" || r & 7 == 0 {
+                    Ipv4Addr(r as u32)
+                } else {
+                    // 7 of 8 draws land inside an installed prefix with
+                    // random host bits — the locality real traffic has.
+                    let (p, _) = routes[(r >> 16) as usize % routes.len()];
+                    let host_mask = ((1u64 << (32 - p.len())) - 1) as u32;
+                    Ipv4Addr(p.addr().0 | (xorshift(&mut state) as u32 & host_mask))
+                }
+            })
+            .collect();
+        let lookups = STREAM as u64 * passes as u64;
+        let mut out = vec![None; STREAM];
+
+        let mut dir_rate = 0.0f64;
+        let mut dir_hits = 0usize;
+        for _ in 0..reps {
+            let mut hits = 0usize;
+            let t0 = Instant::now();
+            for _ in 0..passes {
+                dir.lookup_batch(&addrs, &mut out);
+                hits += out.iter().filter(|o| o.is_some()).count();
+            }
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            dir_hits = hits;
+            dir_rate = dir_rate.max(lookups as f64 / dt);
+        }
+
+        let mut trie_rate = 0.0f64;
+        let mut trie_hits = 0usize;
+        for _ in 0..reps {
+            let mut hits = 0usize;
+            let t0 = Instant::now();
+            for _ in 0..passes {
+                for &a in &addrs {
+                    hits += usize::from(trie.lookup(a).is_some());
+                }
+            }
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            trie_hits = hits;
+            trie_rate = trie_rate.max(lookups as f64 / dt);
+        }
+        assert_eq!(
+            dir_hits, trie_hits,
+            "tables disagree on the {stream} stream"
+        );
+
+        entries.push(Json::obj(vec![
+            ("stream", Json::Str(stream.to_string())),
+            ("routes", Json::Num(n_routes as f64)),
+            ("lookups", Json::Num(lookups as f64)),
+            ("dir248_per_sec", Json::Num(dir_rate)),
+            ("trie_per_sec", Json::Num(trie_rate)),
+            ("dir248_vs_trie", Json::Num(dir_rate / trie_rate)),
+        ]));
+    }
+    Json::Arr(entries)
+}
+
+// ------------------------------------------------------------------ ingress
+
+/// The per-packet ingress pipeline, isolated from the DES. Two
+/// workloads: `train_pop` is the batched LFE front end alone (traffic
+/// draw + one `lookup_batch` per slot train), and `sar_roundtrip`
+/// follows each routed packet through segmentation and the egress
+/// slot-table reassembler to completion.
+fn bench_ingress(quick: bool) -> Json {
+    let n_lcs: usize = 8;
+    let packets: u64 = if quick { 200_000 } else { 2_000_000 };
+    let reps = if quick { 1 } else { 3 };
+
+    // The table the trains resolve against: full synthetic pressure
+    // plus the /16s the generator actually draws destinations from.
+    let mut fib = Dir248Fib::new();
+    for (p, nh) in synthetic_routes(if quick { 20_000 } else { 100_000 }, n_lcs as u16, 0xF1B) {
+        fib.insert(p, nh);
+    }
+    let bases: Vec<Ipv4Addr> = (0..n_lcs).map(BdrConfig::dst_base_of).collect();
+    for (lc, &base) in bases.iter().enumerate() {
+        fib.insert(Ipv4Prefix::new(base, 16), lc as u16);
+    }
+
+    let mut entries = Vec::new();
+
+    // Workload 1: ArrivalTrain::pop per slot train.
+    {
+        let mut best = 0.0f64;
+        let mut routed = 0u64;
+        for rep in 0..reps {
+            let mut gen = PoissonGen::new(0.6 * 10e9, &bases);
+            let mut rng = SmallRng::seed_from_u64(0x1237 + rep as u64);
+            let mut train = ArrivalTrain::new();
+            routed = 0;
+            let t0 = Instant::now();
+            for _ in 0..packets {
+                let (_, route) = train.pop(&mut gen, &mut rng, &fib);
+                routed += u64::from(route.is_some());
+            }
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            best = best.max(packets as f64 / dt);
+        }
+        assert!(routed > 0, "no arrival resolved a route");
+        entries.push(Json::obj(vec![
+            ("name", Json::Str("train_pop".to_string())),
+            ("packets", Json::Num(packets as f64)),
+            ("packets_per_sec", Json::Num(best)),
+        ]));
+    }
+
+    // Workload 2: pop → Packet → segment_cells → Reassembler::push.
+    {
+        let sar_packets = packets / 4; // each packet fans out into cells
+        let mut best = (0.0f64, 0.0f64); // (packets/s, cells/s)
+        let mut completed = 0u64;
+        for rep in 0..reps {
+            let mut gen = PoissonGen::new(0.6 * 10e9, &bases);
+            let mut rng = SmallRng::seed_from_u64(0x5A5A + rep as u64);
+            let mut train = ArrivalTrain::new();
+            let mut ids = PacketIdGen::new();
+            let mut reasm = Reassembler::new();
+            let mut now = 0.0f64;
+            let mut cells = 0u64;
+            completed = 0;
+            let t0 = Instant::now();
+            for _ in 0..sar_packets {
+                let (arrival, route) = train.pop(&mut gen, &mut rng, &fib);
+                now += arrival.dt;
+                let Some(egress) = route else { continue };
+                let packet = Packet::new(
+                    ids.next_id(),
+                    bases[0],
+                    arrival.dst,
+                    arrival.ip_bytes,
+                    ProtocolKind::Ethernet,
+                    now,
+                );
+                for cell in segment_cells(&packet, 0, egress) {
+                    cells += 1;
+                    if let Ok(Some(_)) = reasm.push(&cell, now) {
+                        completed += 1;
+                    }
+                }
+            }
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            if sar_packets as f64 / dt > best.0 {
+                best = (sar_packets as f64 / dt, cells as f64 / dt);
+            }
+        }
+        assert!(completed > 0, "no packet reassembled");
+        entries.push(Json::obj(vec![
+            ("name", Json::Str("sar_roundtrip".to_string())),
+            ("packets", Json::Num(sar_packets as f64)),
+            ("packets_per_sec", Json::Num(best.0)),
+            ("cells_per_sec", Json::Num(best.1)),
+        ]));
+    }
+
+    Json::Arr(entries)
+}
+
 // --------------------------------------------------------------- end-to-end
 
 /// One faceoff cell: 8 cards at load 0.6, an SRU failure mid-run.
@@ -410,6 +622,8 @@ fn speedup_section(artifact: &Json, baseline: &Json) -> Json {
         ("des_kernel", "name", "events_per_sec"),
         ("islip", "ports", "slots_per_sec"),
         ("islip_saturated", "ports", "slots_per_sec"),
+        ("lookup", "stream", "dir248_per_sec"),
+        ("ingress", "name", "packets_per_sec"),
         ("end_to_end", "arch", "events_per_sec"),
     ] {
         if let (Some(c), Some(b)) = (artifact.get(section), baseline.get(section)) {
@@ -459,6 +673,25 @@ fn check(artifact: &Json) -> Result<(), String> {
             "islip_saturated",
             &["ports", "slots", "slots_per_sec", "cells_per_sec"],
         )?;
+    }
+    // Likewise optional: artifacts predating the datapath rewrite
+    // (BENCH_pr2/pr3.json) lack the lookup and ingress sections.
+    if artifact.get("lookup").is_some() {
+        check_section(
+            artifact,
+            "lookup",
+            &[
+                "stream",
+                "routes",
+                "lookups",
+                "dir248_per_sec",
+                "trie_per_sec",
+                "dir248_vs_trie",
+            ],
+        )?;
+    }
+    if artifact.get("ingress").is_some() {
+        check_section(artifact, "ingress", &["name", "packets", "packets_per_sec"])?;
     }
     Ok(())
 }
@@ -522,6 +755,10 @@ fn main() {
     let islip = bench_islip(quick);
     eprintln!("bench-hotpath: iSLIP fabric (saturated) ...");
     let islip_sat = bench_islip_saturated(quick);
+    eprintln!("bench-hotpath: FIB lookup ...");
+    let lookup = bench_lookup(quick);
+    eprintln!("bench-hotpath: ingress pipeline ...");
+    let ingress = bench_ingress(quick);
     eprintln!("bench-hotpath: end-to-end faceoff cell ...");
     let e2e = bench_end_to_end(quick);
 
@@ -531,6 +768,8 @@ fn main() {
         ("des_kernel", des),
         ("islip", islip),
         ("islip_saturated", islip_sat),
+        ("lookup", lookup),
+        ("ingress", ingress),
         ("end_to_end", e2e),
     ]);
 

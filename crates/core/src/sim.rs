@@ -28,12 +28,13 @@ use dra_des::{Ctx, Model, Simulation};
 use dra_net::addr::Ipv4Addr;
 use dra_net::fib::Fib;
 use dra_net::packet::{Packet, PacketId, PacketIdGen};
-use dra_net::sar::{segment, CELL_BYTES};
-use dra_net::traffic::{PoissonGen, TrafficGen};
+use dra_net::sar::{segment_cells, CELL_BYTES};
+use dra_net::traffic::PoissonGen;
 use dra_router::bdr::BdrConfig;
 use dra_router::components::{ComponentKind, Health};
 use dra_router::fabric::Crossbar;
 use dra_router::faults::Generations;
+use dra_router::ingress::ArrivalTrain;
 use dra_router::linecard::Linecard;
 use dra_router::metrics::{DropCause, RouterMetrics};
 use std::collections::HashMap;
@@ -134,6 +135,55 @@ pub enum Stage {
     },
 }
 
+/// Longest possible plan: ingress coverage contributes at most two
+/// stages (remote lookup or EIB hop + processing) and egress coverage
+/// at most four (fabric + LC_inter + EIB hop + egress).
+pub const MAX_STAGES: usize = 6;
+
+/// A packet's full stage plan, inline and `Copy` — events carry it by
+/// value instead of heap-allocating a `Vec<Stage>` per packet.
+#[derive(Debug, Clone, Copy)]
+pub struct StagePlan {
+    stages: [Stage; MAX_STAGES],
+    len: u8,
+}
+
+impl StagePlan {
+    /// An empty plan.
+    fn new() -> Self {
+        StagePlan {
+            stages: [Stage::IngressProc { lc: 0 }; MAX_STAGES],
+            len: 0,
+        }
+    }
+
+    /// Append a stage. Panics if the plan exceeds [`MAX_STAGES`] —
+    /// impossible by construction in [`DraRouter::plan_stages`].
+    fn push(&mut self, stage: Stage) {
+        self.stages[self.len as usize] = stage;
+        self.len += 1;
+    }
+
+    /// The planned stages, in execution order.
+    pub fn as_slice(&self) -> &[Stage] {
+        &self.stages[..self.len as usize]
+    }
+}
+
+impl std::ops::Index<usize> for StagePlan {
+    type Output = Stage;
+
+    fn index(&self, idx: usize) -> &Stage {
+        &self.as_slice()[idx]
+    }
+}
+
+impl PartialEq for StagePlan {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
 /// Which coverage machinery (if any) a packet's journey used — the
 /// key for per-path latency accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -210,7 +260,7 @@ pub enum DraEvent {
         /// Packet bookkeeping.
         meta: FlowMeta,
         /// The full stage plan.
-        stages: Vec<Stage>,
+        stages: StagePlan,
         /// Index of the stage to execute.
         idx: usize,
     },
@@ -219,7 +269,7 @@ pub enum DraEvent {
         /// Packet bookkeeping.
         meta: FlowMeta,
         /// The full stage plan.
-        stages: Vec<Stage>,
+        stages: StagePlan,
         /// Stage being served by this transaction.
         idx: usize,
         /// Control packets still to send in this transaction.
@@ -232,7 +282,7 @@ pub enum DraEvent {
         /// Packet bookkeeping.
         meta: FlowMeta,
         /// The full stage plan.
-        stages: Vec<Stage>,
+        stages: StagePlan,
         /// Stage being served.
         idx: usize,
         /// Control packets still to send after this one.
@@ -285,7 +335,7 @@ pub struct DraRouter {
     generators: Vec<PoissonGen>,
     id_gens: Vec<PacketIdGen>,
     /// Packets inside the fabric: resumed on reassembly completion.
-    in_fabric: HashMap<PacketId, (FlowMeta, Vec<Stage>, usize)>,
+    in_fabric: HashMap<PacketId, (FlowMeta, StagePlan, usize)>,
     generations: Generations,
     repair_pending: Vec<bool>,
     slot_time_s: f64,
@@ -299,6 +349,8 @@ pub struct DraRouter {
     eib_busy_until: HashMap<u16, f64>,
     /// Dedicated per-LC traffic RNG streams (see `DraRouter::new`).
     traffic_rngs: Vec<rand::rngs::SmallRng>,
+    /// Per-LC pre-resolved arrival trains (batched FIB lookups).
+    trains: Vec<ArrivalTrain>,
     /// Flows whose REQ_D/REP_D logical path is already set up.
     lp_established: std::collections::HashSet<u16>,
     /// Cached promised bandwidth per flow.
@@ -381,6 +433,7 @@ impl DraRouter {
         let generations = Generations::new(r.n_lcs);
         let repair_pending = vec![false; r.n_lcs];
 
+        let trains = (0..r.n_lcs).map(|_| ArrivalTrain::new()).collect();
         DraRouter {
             linecards,
             fabric,
@@ -390,6 +443,7 @@ impl DraRouter {
             control,
             generators,
             traffic_rngs,
+            trains,
             id_gens,
             in_fabric: HashMap::new(),
             generations,
@@ -625,14 +679,14 @@ impl DraRouter {
         ingress: u16,
         egress: u16,
         now: f64,
-    ) -> Result<(Vec<Stage>, PathKind), DropCause> {
+    ) -> Result<(StagePlan, PathKind), DropCause> {
         let (views, eib_seen) = self.views_for(ingress, now);
         let planner = CoveragePlanner::new(eib_seen);
         let route = planner.plan(&views, ingress, egress);
         if let Some(cause) = route.blocked_by() {
             return Err(cause);
         }
-        let mut stages = Vec::with_capacity(6);
+        let mut stages = StagePlan::new();
         let mut ingress_covered = false;
         let mut lookup_only = false;
         let mut egress_covered = false;
@@ -700,8 +754,13 @@ impl DraRouter {
     }
 
     fn handle_arrival(&mut self, lc: u16, ctx: &mut Ctx<'_, DraEvent>) {
-        let arrival =
-            self.generators[lc as usize].next_arrival(&mut self.traffic_rngs[lc as usize]);
+        // The train resolves the FIB lookup in batch; `route` is
+        // exactly what `fib.lookup(dst)` returns at this instant.
+        let (arrival, route) = self.trains[lc as usize].pop(
+            &mut self.generators[lc as usize],
+            &mut self.traffic_rngs[lc as usize],
+            &self.linecards[lc as usize].fib,
+        );
         ctx.schedule(arrival.dt, DraEvent::Arrival { lc });
 
         let packet = Packet::new(
@@ -732,7 +791,7 @@ impl DraRouter {
         }
         // The lookup target is known to the model regardless of which
         // LFE will be charged for it; latency is charged per plan.
-        let Some(egress) = self.linecards[lc as usize].fib.lookup(packet.dst) else {
+        let Some(egress) = route else {
             self.drop(&meta, DropCause::NoRoute);
             return;
         };
@@ -789,11 +848,11 @@ impl DraRouter {
     fn run_stage(
         &mut self,
         meta: FlowMeta,
-        stages: Vec<Stage>,
+        stages: StagePlan,
         idx: usize,
         ctx: &mut Ctx<'_, DraEvent>,
     ) {
-        let Some(&stage) = stages.get(idx) else {
+        let Some(&stage) = stages.as_slice().get(idx) else {
             // Plan exhausted: the packet has left the router.
             self.finish(&meta, ctx.now());
             return;
@@ -855,9 +914,8 @@ impl DraRouter {
             }
             Stage::Fabric { src, dst } => {
                 let p = self.as_packet(&meta);
-                let cells = segment(&p, src, dst);
                 let mut overflow = false;
-                for cell in cells {
+                for cell in segment_cells(&p, src, dst) {
                     if self.fabric.enqueue(cell).is_err() {
                         overflow = true;
                         break;
@@ -913,7 +971,7 @@ impl DraRouter {
     fn eib_transfer(
         &mut self,
         meta: FlowMeta,
-        stages: Vec<Stage>,
+        stages: StagePlan,
         idx: usize,
         ctx: &mut Ctx<'_, DraEvent>,
     ) {
@@ -952,7 +1010,7 @@ impl DraRouter {
     fn control_attempt(
         &mut self,
         meta: FlowMeta,
-        stages: Vec<Stage>,
+        stages: StagePlan,
         idx: usize,
         remaining: u8,
         attempt: u32,
@@ -1017,7 +1075,7 @@ impl DraRouter {
     fn handle_control_done(
         &mut self,
         meta: FlowMeta,
-        stages: Vec<Stage>,
+        stages: StagePlan,
         idx: usize,
         remaining: u8,
         attempt: u32,
@@ -1141,8 +1199,13 @@ impl Model for DraRouter {
             DraEvent::Start => {
                 self.recompute_bandwidth();
                 for lc in 0..self.config.router.n_lcs as u16 {
-                    let first = self.generators[lc as usize]
-                        .next_arrival(&mut self.traffic_rngs[lc as usize]);
+                    // Only `.dt` matters here: the kick-off record's
+                    // payload never becomes a packet (as before).
+                    let (first, _) = self.trains[lc as usize].pop(
+                        &mut self.generators[lc as usize],
+                        &mut self.traffic_rngs[lc as usize],
+                        &self.linecards[lc as usize].fib,
+                    );
                     ctx.schedule(first.dt, DraEvent::Arrival { lc });
                     self.arm_faults_for_lc(lc, ctx);
                 }

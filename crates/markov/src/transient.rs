@@ -86,13 +86,13 @@ pub fn transient_many(
     let mut results = Vec::with_capacity(times.len());
     let mut pi = pi0.to_vec();
     let mut prev_t = 0.0_f64;
-    let mut scratch = vec![0.0; pi.len()];
+    let mut ws = UniformWorkspace::new(pi.len());
 
     for &t in times {
         let mut remaining = t - prev_t;
         while remaining > 0.0 {
             let step = remaining.min(opts.max_step_mass / lambda);
-            uniformization_step(&p, &mut pi, &mut scratch, lambda * step, opts)?;
+            uniformization_step(&p, &mut pi, &mut ws, lambda * step, opts)?;
             remaining -= step;
         }
         prev_t = t;
@@ -101,11 +101,34 @@ pub fn transient_many(
     Ok(results)
 }
 
+/// Scratch vectors for [`uniformization_step`], hoisted out of the
+/// per-step loop so a whole time grid (a Fig 6/7 sweep is thousands of
+/// internal steps) reuses one workspace allocation.
+#[derive(Debug)]
+struct UniformWorkspace {
+    /// `vecmat` target, swapped with `v` each DTMC iteration.
+    scratch: Vec<f64>,
+    /// Accumulator for the Poisson-weighted sum; swapped into `pi`.
+    out: Vec<f64>,
+    /// Current DTMC iterate `π0 Pᵏ`.
+    v: Vec<f64>,
+}
+
+impl UniformWorkspace {
+    fn new(n: usize) -> Self {
+        UniformWorkspace {
+            scratch: vec![0.0; n],
+            out: vec![0.0; n],
+            v: vec![0.0; n],
+        }
+    }
+}
+
 /// Advance `pi` by one uniformization step with Poisson mean `m`.
 fn uniformization_step(
     p: &dra_linalg::CsrMatrix,
     pi: &mut Vec<f64>,
-    scratch: &mut Vec<f64>,
+    ws: &mut UniformWorkspace,
     m: f64,
     opts: TransientOptions,
 ) -> Result<()> {
@@ -113,34 +136,34 @@ fn uniformization_step(
     if m == 0.0 {
         return Ok(());
     }
-    let n = pi.len();
-    let mut out = vec![0.0; n];
+    let UniformWorkspace { scratch, out, v } = ws;
+    out.fill(0.0);
 
     // Poisson weights computed iteratively: w_0 = e^-m, w_{k+1} = w_k * m/(k+1).
     let mut weight = (-m).exp();
     let mut cum = weight;
-    vector::axpy(weight, pi, &mut out);
+    vector::axpy(weight, pi, out);
 
     // Generous cap: mean + 10 sqrt(mean) + 64 covers epsilon = 1e-12
     // for any m <= max_step_mass.
     let k_cap = (m + 10.0 * m.sqrt() + 64.0).ceil() as usize;
     let mut k = 0usize;
-    let mut v = pi.clone();
+    v.copy_from_slice(pi);
 
     while cum < 1.0 - opts.epsilon && k < k_cap {
         // v <- v P
-        p.vecmat_into(&v, scratch)?;
-        std::mem::swap(&mut v, scratch);
+        p.vecmat_into(v, scratch)?;
+        std::mem::swap(v, scratch);
         k += 1;
         weight *= m / k as f64;
         cum += weight;
-        vector::axpy(weight, &v, &mut out);
+        vector::axpy(weight, v, out);
 
         // Steady-state shortcut: once vP == v, all further terms add
         // the same vector; fold the entire Poisson tail in at once.
-        if vector::dist_inf(&v, scratch) < opts.ss_tol {
+        if vector::dist_inf(v, scratch) < opts.ss_tol {
             let tail = (1.0 - cum).max(0.0);
-            vector::axpy(tail, &v, &mut out);
+            vector::axpy(tail, v, out);
             cum = 1.0;
             break;
         }
@@ -149,9 +172,9 @@ fn uniformization_step(
     // Compensate any truncated tail mass so the result stays a
     // distribution (the truncation error is below epsilon by design).
     if cum > 0.0 && cum < 1.0 {
-        vector::scale(1.0 / cum, &mut out);
+        vector::scale(1.0 / cum, out);
     }
-    *pi = out;
+    std::mem::swap(pi, out);
     Ok(())
 }
 

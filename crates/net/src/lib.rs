@@ -34,6 +34,6 @@ pub mod trace;
 pub mod traffic;
 
 pub use addr::{Ipv4Addr, Ipv4Prefix};
-pub use fib::{Fib, StrideFib, TrieFib};
+pub use fib::{Dir248Fib, Fib, StrideFib, TrieFib};
 pub use packet::{Packet, PacketId, PortId};
 pub use protocol::{ProtocolEngine, ProtocolKind};

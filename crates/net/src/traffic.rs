@@ -14,7 +14,10 @@ use dra_des::random::{self, Discrete};
 use rand::Rng;
 
 /// The next packet to inject: wait `dt` seconds, then `packet` arrives.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// `Copy`: 16 bytes of plain data, so generators and the ingress
+/// lookup trains hand arrivals around by value without cloning.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Arrival {
     /// Inter-arrival gap from the previous packet (seconds).
     pub dt: f64,
@@ -249,7 +252,7 @@ impl TraceGen {
 
 impl TrafficGen for TraceGen {
     fn next_arrival<R: Rng + ?Sized>(&mut self, _rng: &mut R) -> Arrival {
-        let a = self.trace[self.pos].clone();
+        let a = self.trace[self.pos];
         self.pos = (self.pos + 1) % self.trace.len();
         a
     }

@@ -14,6 +14,7 @@ use crate::arena::CellHandle;
 use crate::components::ComponentKind;
 use crate::fabric::Crossbar;
 use crate::faults::{FaultInjector, Generations};
+use crate::ingress::ArrivalTrain;
 use crate::linecard::Linecard;
 use crate::metrics::{DropCause, LcMetrics, RouterMetrics};
 use dra_des::{Ctx, Model, Simulation};
@@ -21,8 +22,8 @@ use dra_net::addr::{Ipv4Addr, Ipv4Prefix};
 use dra_net::fib::Fib;
 use dra_net::packet::{Packet, PacketId, PacketIdGen};
 use dra_net::protocol::ProtocolKind;
-use dra_net::sar::{segment, CELL_BYTES};
-use dra_net::traffic::{PoissonGen, TrafficGen};
+use dra_net::sar::{segment_cells, CELL_BYTES};
+use dra_net::traffic::PoissonGen;
 use std::collections::HashMap;
 
 /// Configuration for a BDR simulation.
@@ -173,6 +174,8 @@ pub struct BdrRouter {
     /// byte-identical offered traffic under the same seed regardless
     /// of how much randomness their internals consume.
     traffic_rngs: Vec<rand::rngs::SmallRng>,
+    /// Per-LC pre-resolved arrival trains (batched FIB lookups).
+    trains: Vec<ArrivalTrain>,
     id_gens: Vec<PacketIdGen>,
     in_flight: HashMap<PacketId, InFlight>,
     generations: Generations,
@@ -248,6 +251,7 @@ impl BdrRouter {
         let metrics = RouterMetrics::new(config.n_lcs);
         let generations = Generations::new(config.n_lcs);
         let repair_pending = vec![false; config.n_lcs];
+        let trains = (0..config.n_lcs).map(|_| ArrivalTrain::new()).collect();
 
         BdrRouter {
             config,
@@ -257,6 +261,7 @@ impl BdrRouter {
             rp,
             generators,
             traffic_rngs,
+            trains,
             id_gens,
             in_flight: HashMap::new(),
             generations,
@@ -353,9 +358,13 @@ impl BdrRouter {
 
     fn handle_arrival(&mut self, lc: u16, ctx: &mut Ctx<'_, BdrEvent>) {
         // Draw and schedule the next arrival first, so drops don't stall
-        // the arrival process.
-        let arrival =
-            self.generators[lc as usize].next_arrival(&mut self.traffic_rngs[lc as usize]);
+        // the arrival process. The train resolves the FIB lookup in
+        // batch; `route` is exactly what `fib.lookup(dst)` returns now.
+        let (arrival, route) = self.trains[lc as usize].pop(
+            &mut self.generators[lc as usize],
+            &mut self.traffic_rngs[lc as usize],
+            &self.linecards[lc as usize].fib,
+        );
         ctx.schedule(arrival.dt, BdrEvent::Arrival { lc });
 
         let packet = Packet::new(
@@ -381,7 +390,7 @@ impl BdrRouter {
                 .drop_packet(DropCause::IngressDown, packet.ip_bytes);
             return;
         }
-        let Some(egress) = self.linecards[lc as usize].fib.lookup(packet.dst) else {
+        let Some(egress) = route else {
             self.metrics_of(lc)
                 .drop_packet(DropCause::NoRoute, packet.ip_bytes);
             return;
@@ -414,9 +423,8 @@ impl BdrRouter {
         egress: u16,
         ctx: &mut Ctx<'_, BdrEvent>,
     ) {
-        let cells = segment(&packet, lc, egress);
         let mut overflowed = false;
-        for cell in cells {
+        for cell in segment_cells(&packet, lc, egress) {
             if self.fabric.enqueue(cell).is_err() {
                 overflowed = true;
                 break;
@@ -550,8 +558,13 @@ impl Model for BdrRouter {
         match event {
             BdrEvent::Start => {
                 for lc in 0..self.config.n_lcs as u16 {
-                    let first = self.generators[lc as usize]
-                        .next_arrival(&mut self.traffic_rngs[lc as usize]);
+                    // Only `.dt` matters here: the kick-off record's
+                    // payload never becomes a packet (as before).
+                    let (first, _) = self.trains[lc as usize].pop(
+                        &mut self.generators[lc as usize],
+                        &mut self.traffic_rngs[lc as usize],
+                        &self.linecards[lc as usize].fib,
+                    );
                     ctx.schedule(first.dt, BdrEvent::Arrival { lc });
                     self.arm_faults_for_lc(lc, ctx);
                 }

@@ -16,6 +16,10 @@
 //!   executable spec for the bitmask arbiter's determinism contract.
 //! * [`linecard`] — per-linecard state: protocol engine, FIB,
 //!   reassembler, port rate.
+//! * [`ingress`] — the LFE's batched lookup front end: per-linecard
+//!   arrival trains resolved against the compiled DIR-24-8 FIB in one
+//!   `lookup_batch` call, with generation-stamped invalidation under
+//!   route churn.
 //! * [`metrics`] — offered/delivered/drop accounting, latency, and
 //!   time-weighted per-linecard availability.
 //! * [`faults`] — exponential component-failure injection with a
@@ -36,6 +40,7 @@ pub mod components;
 pub mod fabric;
 pub mod fabric_ref;
 pub mod faults;
+pub mod ingress;
 pub mod linecard;
 pub mod metrics;
 pub mod rp;
@@ -45,5 +50,6 @@ pub use bdr::{BdrConfig, BdrRouter};
 pub use components::{ComponentKind, FailureRates, Health, LcComponents};
 pub use fabric::Crossbar;
 pub use fabric_ref::ScalarCrossbar;
+pub use ingress::{ArrivalTrain, LOOKUP_TRAIN};
 pub use linecard::Linecard;
 pub use metrics::{DropCause, LcMetrics, RouterMetrics};

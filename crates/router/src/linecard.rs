@@ -1,7 +1,7 @@
 //! Per-linecard state shared by the BDR and DRA simulators.
 
 use crate::components::LcComponents;
-use dra_net::fib::TrieFib;
+use dra_net::fib::Dir248Fib;
 use dra_net::packet::Packet;
 use dra_net::protocol::{engine_for, ProtocolEngine, ProtocolKind};
 use dra_net::sar::Reassembler;
@@ -24,8 +24,9 @@ pub struct Linecard {
     pub protocol: ProtocolKind,
     /// The protocol-dependent logic (PDLU model).
     pub engine: Box<dyn ProtocolEngine>,
-    /// The local forwarding table.
-    pub fib: TrieFib,
+    /// The local forwarding table (the compiled DIR-24-8 form the
+    /// hardware LFE would run; `TrieFib` remains its executable spec).
+    pub fib: Dir248Fib,
     /// Unit health. `components.piu` aggregates the ports: it reads
     /// `Failed` only when *every* PIU is down (see `fail_piu_port`).
     pub components: LcComponents,
@@ -55,7 +56,7 @@ impl Linecard {
             id,
             protocol,
             engine: engine_for(protocol),
-            fib: TrieFib::new(),
+            fib: Dir248Fib::new(),
             components: LcComponents::healthy(),
             port_rate_bps,
             ports,
