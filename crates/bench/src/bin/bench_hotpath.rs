@@ -31,16 +31,22 @@
 //! Usage:
 //!
 //! ```text
-//! bench-hotpath [--quick] [--out PATH] [--baseline PATH]
+//! bench-hotpath [--quick] [--telemetry] [--out PATH] [--baseline PATH]
 //! bench-hotpath --check PATH
 //! ```
 //!
 //! `--baseline` embeds a previous artifact and adds per-entry and
-//! minimum speedup factors; `--check` validates an artifact's schema
-//! (used by CI's bench-smoke job) and exits non-zero on violations.
+//! minimum/p50/p99 speedup factors; `--check` validates an artifact's
+//! schema (used by CI's bench-smoke job) and exits non-zero on
+//! violations. `--telemetry` (needs the `telemetry` cargo feature)
+//! runs the end-to-end cell with the flight-recorder hub enabled and
+//! embeds the resulting `dra-telemetry/v1` snapshot in the artifact —
+//! those end-to-end timings carry observation cost, so never compare
+//! a `--telemetry` artifact against a clean baseline.
 
 use dra_campaign::json::{parse, Json};
 use dra_core::sim::{DraConfig, DraRouter};
+use dra_des::stats::LogHistogram;
 use dra_des::{Ctx, Model, Simulation};
 use dra_net::addr::{Ipv4Addr, Ipv4Prefix};
 use dra_net::fib::{synthetic_routes, Dir248Fib, Fib, TrieFib};
@@ -520,9 +526,13 @@ fn bench_end_to_end(quick: bool) -> Json {
     for arch in ["bdr", "dra"] {
         let mut best = (0.0f64, 0.0f64); // (events/s, cells/s)
         let mut events = 0u64;
+        // Delivered-packet latency distribution of the cell; the run
+        // is deterministic per seed, so every rep produces the same
+        // histogram and keeping the last suffices.
+        let mut latency = dra_router::metrics::latency_histogram();
         for _ in 0..reps {
             let t0 = Instant::now();
-            let (ev, delivered_bytes) = match arch {
+            let (ev, delivered_bytes, lat) = match arch {
                 "bdr" => {
                     let mut sim = BdrRouter::simulation(cfg.clone(), seed);
                     sim.run_until(fail_at);
@@ -533,6 +543,7 @@ fn bench_end_to_end(quick: bool) -> Json {
                     (
                         sim.events_processed(),
                         sim.model().metrics.total_delivered_bytes(),
+                        sim.model().metrics.latency_hist_total(),
                     )
                 }
                 _ => {
@@ -549,22 +560,38 @@ fn bench_end_to_end(quick: bool) -> Json {
                     (
                         sim.events_processed(),
                         sim.model().metrics.total_delivered_bytes(),
+                        sim.model().metrics.latency_hist_total(),
                     )
                 }
             };
             let dt = t0.elapsed().as_secs_f64().max(1e-9);
             events = ev;
+            latency = lat;
             let cells = delivered_bytes as f64 / CELL_PAYLOAD as f64;
             if ev as f64 / dt > best.0 {
                 best = (ev as f64 / dt, cells / dt);
             }
         }
+        assert!(latency.count() > 0, "{arch} cell delivered no packets");
+        // A quantile landing in the overflow bucket comes back as
+        // +inf; clamp to the layout's upper bound so the artifact
+        // stays plain JSON.
+        let q = |p: f64| {
+            let v = latency.quantile(p);
+            if v.is_finite() {
+                v
+            } else {
+                dra_router::metrics::LATENCY_HIST_HI
+            }
+        };
         entries.push(Json::obj(vec![
             ("arch", Json::Str(arch.to_string())),
             ("sim_seconds", Json::Num(horizon)),
             ("events", Json::Num(events as f64)),
             ("events_per_sec", Json::Num(best.0)),
             ("cells_per_sec", Json::Num(best.1)),
+            ("latency_p50_s", Json::Num(q(0.5))),
+            ("latency_p99_s", Json::Num(q(0.99))),
         ]));
     }
     Json::Arr(entries)
@@ -615,8 +642,18 @@ fn speedup_section(artifact: &Json, baseline: &Json) -> Json {
             .map(|(k, v)| (k.clone(), Json::Num(*v)))
             .collect();
         let min = ratios.iter().map(|(_, v)| *v).fold(f64::INFINITY, f64::min);
+        // Bucketed p50/p99 of the per-entry ratios: the minimum alone
+        // is dominated by the noisiest workload, while the quantiles
+        // show whether the section as a whole moved. Ratios cluster
+        // around 1.0, so a wide log layout keeps them all in-range.
+        let mut hist = LogHistogram::new(1e-3, 1e3, 240);
+        for (_, v) in ratios {
+            hist.record(*v);
+        }
         pairs.push((name.to_string(), Json::Obj(entries)));
         pairs.push((format!("{name}_min"), Json::Num(min)));
+        pairs.push((format!("{name}_p50"), Json::Num(hist.quantile(0.5))));
+        pairs.push((format!("{name}_p99"), Json::Num(hist.quantile(0.99))));
     };
     for (section, id, rate) in [
         ("des_kernel", "name", "events_per_sec"),
@@ -749,6 +786,15 @@ fn main() {
     }
 
     let quick = args.iter().any(|a| a == "--quick");
+    let telemetry = args.iter().any(|a| a == "--telemetry");
+    #[cfg(not(feature = "telemetry"))]
+    if telemetry {
+        eprintln!(
+            "bench-hotpath: --telemetry requires a build with the `telemetry` \
+             cargo feature (cargo run --features telemetry ...)"
+        );
+        std::process::exit(1);
+    }
     eprintln!("bench-hotpath: DES kernel ...");
     let des = bench_des_kernel(quick);
     eprintln!("bench-hotpath: iSLIP fabric (scatter) ...");
@@ -760,7 +806,19 @@ fn main() {
     eprintln!("bench-hotpath: ingress pipeline ...");
     let ingress = bench_ingress(quick);
     eprintln!("bench-hotpath: end-to-end faceoff cell ...");
+    #[cfg(feature = "telemetry")]
+    if telemetry {
+        dra_telemetry::enable(dra_telemetry::Config::default());
+    }
     let e2e = bench_end_to_end(quick);
+    #[cfg(feature = "telemetry")]
+    let telemetry_section = if telemetry {
+        let snap = dra_telemetry::snapshot().expect("telemetry hub was enabled");
+        dra_telemetry::disable();
+        Some(parse(&snap.to_json_string()).expect("snapshot emits valid JSON"))
+    } else {
+        None
+    };
 
     let mut artifact = Json::obj(vec![
         ("format", Json::Str(BENCH_FORMAT.to_string())),
@@ -772,6 +830,12 @@ fn main() {
         ("ingress", ingress),
         ("end_to_end", e2e),
     ]);
+    #[cfg(feature = "telemetry")]
+    if let Some(section) = telemetry_section {
+        if let Json::Obj(pairs) = &mut artifact {
+            pairs.push(("telemetry".to_string(), section));
+        }
+    }
 
     if let Some(path) = arg_value(&args, "--baseline") {
         let text = std::fs::read_to_string(&path)

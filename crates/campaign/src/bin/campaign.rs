@@ -3,7 +3,8 @@
 //! ```text
 //! campaign [--spec NAME] [--quick] [--workers N] [--seed S]
 //!          [--replications R] [--out PATH] [--cell-budget N]
-//!          [--fresh] [--csv] [--list]
+//!          [--fresh] [--csv] [--list] [--progress]
+//!          [--telemetry] [--telemetry-out PATH] [--trace PATH]
 //! campaign --check PATH
 //! ```
 //!
@@ -30,19 +31,31 @@ struct Cli {
     csv: bool,
     list: bool,
     check: Option<PathBuf>,
+    progress: bool,
+    telemetry: bool,
+    telemetry_out: Option<PathBuf>,
+    trace: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: campaign [--spec NAME] [--quick] [--workers N] [--seed S]\n\
          \x20               [--replications R] [--out PATH | --no-out]\n\
-         \x20               [--cell-budget N] [--fresh] [--csv]\n\
+         \x20               [--cell-budget N] [--fresh] [--csv] [--progress]\n\
+         \x20               [--telemetry] [--telemetry-out PATH] [--trace PATH]\n\
          \x20      campaign --list\n\
          \x20      campaign --check PATH\n\
          \n\
          Runs a named campaign spec (default: faceoff) and writes a\n\
          versioned JSON artifact to results/<spec>.json. Interrupted\n\
-         runs resume from the .partial.jsonl checkpoint automatically."
+         runs resume from the .partial.jsonl checkpoint automatically.\n\
+         \n\
+         --progress       heartbeat on stderr (cells done, elapsed, ETA)\n\
+         --telemetry      embed a dra-telemetry/v1 section in the artifact\n\
+         --telemetry-out  write the merged snapshot to a separate file\n\
+         \x20               (artifact stays byte-identical)\n\
+         --trace          write a Perfetto-loadable Chrome trace JSON\n\
+         (the last three need a build with --features telemetry)"
     );
     std::process::exit(2);
 }
@@ -61,6 +74,10 @@ fn parse_cli() -> Cli {
         csv: false,
         list: false,
         check: None,
+        progress: false,
+        telemetry: false,
+        telemetry_out: None,
+        trace: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -87,6 +104,10 @@ fn parse_cli() -> Cli {
             "--csv" => cli.csv = true,
             "--list" => cli.list = true,
             "--check" => cli.check = Some(PathBuf::from(value("--check"))),
+            "--progress" => cli.progress = true,
+            "--telemetry" => cli.telemetry = true,
+            "--telemetry-out" => cli.telemetry_out = Some(PathBuf::from(value("--telemetry-out"))),
+            "--trace" => cli.trace = Some(PathBuf::from(value("--trace"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
@@ -173,6 +194,10 @@ fn main() -> ExitCode {
         cell_budget: cli.cell_budget,
         fresh: cli.fresh,
         quiet: false,
+        progress: cli.progress,
+        telemetry: cli.telemetry,
+        telemetry_out: cli.telemetry_out.clone(),
+        trace_out: cli.trace.clone(),
     };
 
     eprintln!(

@@ -56,6 +56,21 @@ pub struct RunOptions {
     pub fresh: bool,
     /// Suppress progress lines on stderr.
     pub quiet: bool,
+    /// Opt-in heartbeat on stderr as cells complete (done count,
+    /// elapsed wall time, ETA). Writes only to stderr, so it cannot
+    /// change the artifact.
+    pub progress: bool,
+    /// Embed the merged `dra-telemetry/v1` snapshot as a `telemetry`
+    /// section in the artifact. Requires the `telemetry` feature.
+    pub telemetry: bool,
+    /// Write the merged `dra-telemetry/v1` snapshot to this path as a
+    /// standalone file, leaving the artifact byte-identical to a run
+    /// without telemetry. Requires the `telemetry` feature.
+    pub telemetry_out: Option<PathBuf>,
+    /// Write a Chrome `trace_event` JSON (Perfetto-loadable) of the
+    /// sampled packet lifecycles to this path. Requires the
+    /// `telemetry` feature.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for RunOptions {
@@ -66,6 +81,10 @@ impl Default for RunOptions {
             cell_budget: None,
             fresh: false,
             quiet: true,
+            progress: false,
+            telemetry: false,
+            telemetry_out: None,
+            trace_out: None,
         }
     }
 }
@@ -92,6 +111,16 @@ pub struct CampaignOutcome {
 pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> std::io::Result<CampaignOutcome> {
     spec.validate();
     let digest = spec.digest();
+
+    let collect = opts.telemetry || opts.telemetry_out.is_some() || opts.trace_out.is_some();
+    #[cfg(not(feature = "telemetry"))]
+    if collect {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "telemetry output requested, but dra-campaign was built without \
+             the `telemetry` cargo feature (rebuild with --features telemetry)",
+        ));
+    }
 
     // Load checkpointed cells, if any.
     let ckpt_path = opts.out.as_ref().map(|p| checkpoint_path(p));
@@ -145,8 +174,44 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> std::io::Result<CampaignOu
 
     let pool = WorkerPool::new(opts.workers);
     let quiet = opts.quiet;
+    let progress = opts.progress;
+    let heartbeat_total = pending.len();
+    let heartbeat_done = std::sync::atomic::AtomicUsize::new(0);
+    let heartbeat_start = std::time::Instant::now();
+    #[cfg(feature = "telemetry")]
+    let collected: Mutex<
+        Vec<(
+            usize,
+            dra_telemetry::Snapshot,
+            Vec<dra_telemetry::TraceEvent>,
+        )>,
+    > = Mutex::new(Vec::new());
+    #[cfg(feature = "telemetry")]
+    let want_trace = opts.trace_out.is_some();
     let outcomes = pool.try_map(pending.clone(), |&i| {
+        // A fresh hub per cell: per-cell snapshots merge in cell-index
+        // order afterwards, so worker count and scheduling cannot
+        // change the merged section. enable() also discards any state
+        // a panicked previous cell left on this worker thread.
+        #[cfg(feature = "telemetry")]
+        if collect {
+            dra_telemetry::enable(dra_telemetry::Config {
+                collect_trace: want_trace,
+                ..Default::default()
+            });
+        }
         let cell_json = run_cell(spec, i);
+        #[cfg(feature = "telemetry")]
+        if collect {
+            if let Some(snap) = dra_telemetry::snapshot() {
+                let trace = dra_telemetry::take_trace_events();
+                collected
+                    .lock()
+                    .expect("telemetry lock")
+                    .push((i, snap, trace));
+            }
+            dra_telemetry::disable();
+        }
         if let Some(f) = &ckpt {
             let mut f = f.lock().expect("checkpoint lock");
             writeln!(f, "{}", cell_json.to_string_compact()).expect("checkpoint write");
@@ -154,6 +219,15 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> std::io::Result<CampaignOu
         }
         if !quiet {
             eprintln!("  cell {i} ({}) done", spec.cells[i].id);
+        }
+        if progress {
+            let done = heartbeat_done.fetch_add(1, std::sync::atomic::Ordering::Relaxed) + 1;
+            let elapsed = heartbeat_start.elapsed().as_secs_f64();
+            let eta = elapsed / done as f64 * (heartbeat_total - done) as f64;
+            eprintln!(
+                "[campaign] {done}/{heartbeat_total} cells, \
+                 {elapsed:.1}s elapsed, eta {eta:.1}s"
+            );
         }
         cell_json
     });
@@ -190,13 +264,62 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> std::io::Result<CampaignOu
         });
     }
 
+    // Merged telemetry: fold per-cell snapshots in cell-index order
+    // (Snapshot::merge is commutative and associative, so any order
+    // gives the same bytes; sorting makes that self-evident) and
+    // route the result to the requested exporters.
+    #[cfg(feature = "telemetry")]
+    let telemetry_section: Option<Json> = if collect {
+        let mut cells_collected = collected.into_inner().expect("telemetry lock");
+        cells_collected.sort_by_key(|&(i, _, _)| i);
+        let n_merged = cells_collected.len();
+        let mut merged: Option<dra_telemetry::Snapshot> = None;
+        let mut trace_events = Vec::new();
+        for (_, snap, trace) in cells_collected {
+            match &mut merged {
+                Some(m) => m.merge(&snap),
+                None => merged = Some(snap),
+            }
+            trace_events.extend(trace);
+        }
+        if let Some(path) = &opts.trace_out {
+            write_atomic(path, &dra_telemetry::chrome_trace_json(&trace_events))?;
+        }
+        let mut section = match merged {
+            Some(s) => parse(&s.to_json_string()).expect("telemetry snapshot emits valid JSON"),
+            // Nothing ran this invocation (everything resumed): an
+            // empty but schema-valid section.
+            None => Json::obj(vec![
+                ("format", Json::Str(dra_telemetry::SNAPSHOT_FORMAT.into())),
+                ("counters", Json::Obj(Vec::new())),
+            ]),
+        };
+        if let Json::Obj(pairs) = &mut section {
+            pairs.push(("cells_merged".to_string(), Json::Num(n_merged as f64)));
+        }
+        if let Some(path) = &opts.telemetry_out {
+            write_atomic(path, &section.to_string_pretty())?;
+        }
+        Some(section)
+    } else {
+        None
+    };
+
     // All cells present: assemble, write atomically, drop checkpoint.
-    let artifact = Json::obj(vec![
+    #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+    let mut fields = vec![
         ("format", Json::Str(ARTIFACT_FORMAT.into())),
         ("digest", Json::Str(digest)),
         ("spec", spec.manifest()),
         ("cells", Json::Arr(done.into_values().collect())),
-    ]);
+    ];
+    #[cfg(feature = "telemetry")]
+    if opts.telemetry {
+        if let Some(section) = telemetry_section {
+            fields.push(("telemetry", section));
+        }
+    }
+    let artifact = Json::obj(fields);
     let mut artifact_path = None;
     if let Some(out) = &opts.out {
         write_atomic(out, &artifact.to_string_pretty())?;
@@ -473,6 +596,22 @@ pub fn validate_artifact(text: &str) -> Result<(usize, usize), String> {
             return Err(format!("cell {i}: delivery.mean {mean} outside [0,1]"));
         }
     }
+    // The telemetry section is optional, but must be well-formed
+    // whenever present.
+    if let Some(t) = doc.get("telemetry") {
+        let fmt = t.get("format").and_then(Json::as_str);
+        if fmt != Some("dra-telemetry/v1") {
+            return Err(format!(
+                "telemetry section format is {fmt:?}, expected \"dra-telemetry/v1\""
+            ));
+        }
+        if !matches!(t.get("counters"), Some(Json::Obj(_))) {
+            return Err("telemetry section missing counters object".into());
+        }
+        t.get("cells_merged")
+            .and_then(Json::as_u64)
+            .ok_or("telemetry section missing cells_merged")?;
+    }
     Ok((cells.len(), errors))
 }
 
@@ -542,6 +681,104 @@ mod tests {
         assert_eq!(
             one.artifact.unwrap().to_string_pretty(),
             many.artifact.unwrap().to_string_pretty()
+        );
+    }
+
+    #[test]
+    fn progress_heartbeat_does_not_change_artifact() {
+        let spec = spec(3, 2);
+        let plain = run(&spec, &RunOptions::default()).unwrap();
+        let noisy = run(
+            &spec,
+            &RunOptions {
+                progress: true,
+                workers: 3,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            plain.artifact.unwrap().to_string_pretty(),
+            noisy.artifact.unwrap().to_string_pretty()
+        );
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_section_embeds_and_validates() {
+        let spec = spec(2, 1);
+        let out = run(
+            &spec,
+            &RunOptions {
+                telemetry: true,
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        let text = out.artifact.unwrap().to_string_pretty();
+        validate_artifact(&text).unwrap();
+        let doc = parse(&text).unwrap();
+        let t = doc.get("telemetry").expect("telemetry section present");
+        assert_eq!(
+            t.get("format").and_then(Json::as_str),
+            Some("dra-telemetry/v1")
+        );
+        assert_eq!(t.get("cells_merged").and_then(Json::as_u64), Some(2));
+        let arrivals = t
+            .get("counters")
+            .and_then(|c| c.get("router.arrivals"))
+            .and_then(Json::as_f64)
+            .expect("arrivals counter");
+        assert!(arrivals > 0.0, "no arrivals counted");
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn telemetry_section_independent_of_worker_count() {
+        let spec = spec(3, 1);
+        let run_with = |workers| {
+            run(
+                &spec,
+                &RunOptions {
+                    workers,
+                    telemetry: true,
+                    ..RunOptions::default()
+                },
+            )
+            .unwrap()
+            .artifact
+            .unwrap()
+            .to_string_pretty()
+        };
+        assert_eq!(run_with(1), run_with(4));
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn external_telemetry_leaves_artifact_identical() {
+        let spec = spec(2, 1);
+        let plain = run(&spec, &RunOptions::default()).unwrap();
+        let snap_path =
+            std::env::temp_dir().join(format!("dra-telemetry-ext-{}.json", std::process::id()));
+        let traced = run(
+            &spec,
+            &RunOptions {
+                telemetry_out: Some(snap_path.clone()),
+                ..RunOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            plain.artifact.unwrap().to_string_pretty(),
+            traced.artifact.unwrap().to_string_pretty(),
+            "--telemetry-out must not touch the artifact"
+        );
+        let snap = fs::read_to_string(&snap_path).expect("snapshot file written");
+        let _ = fs::remove_file(&snap_path);
+        let doc = parse(&snap).unwrap();
+        assert_eq!(
+            doc.get("format").and_then(Json::as_str),
+            Some("dra-telemetry/v1")
         );
     }
 

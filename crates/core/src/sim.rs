@@ -468,7 +468,7 @@ impl DraRouter {
             },
             latency_by_path: Default::default(),
             latency_hist_by_path: (0..5)
-                .map(|_| dra_des::stats::LogHistogram::new(100e-9, 10e-3, 100))
+                .map(|_| dra_router::metrics::latency_histogram())
                 .collect(),
             config,
         }
@@ -651,6 +651,14 @@ impl DraRouter {
 
     fn drop(&mut self, meta: &FlowMeta, cause: DropCause) {
         self.metrics.lcs[meta.ingress as usize].drop_packet(cause, meta.ip_bytes);
+        dra_router::metrics::note_drop(meta.id, cause, meta.ingress);
+        // The paper's B_prom scale-back realized as drops is the
+        // anomaly the flight recorder is armed for: freeze the event
+        // window at the first occurrence.
+        #[cfg(feature = "telemetry")]
+        if cause == DropCause::EibOversubscribed {
+            dra_telemetry::anomaly("first eib-oversubscribed drop");
+        }
     }
 
     fn ensure_fabric_slot(&mut self, ctx: &mut Ctx<'_, DraEvent>) {
@@ -761,7 +769,15 @@ impl DraRouter {
             &mut self.traffic_rngs[lc as usize],
             &self.linecards[lc as usize].fib,
         );
-        ctx.schedule(arrival.dt, DraEvent::Arrival { lc });
+        let next_at = ctx.now() + arrival.dt;
+        if self
+            .config
+            .router
+            .arrival_stop_s
+            .is_none_or(|stop| next_at < stop)
+        {
+            ctx.schedule(arrival.dt, DraEvent::Arrival { lc });
+        }
 
         let packet = Packet::new(
             self.id_gens[lc as usize].next_id(),
@@ -772,6 +788,27 @@ impl DraRouter {
             ctx.now(),
         );
         self.metrics.lcs[lc as usize].offer(packet.ip_bytes);
+        #[cfg(feature = "telemetry")]
+        {
+            use dra_telemetry as tm;
+            tm::counter_add(tm::ids::ARRIVALS, 1);
+            tm::counter_add(tm::ids::FIB_LOOKUPS, 1);
+            tm::event(
+                tm::EventKind::Arrival,
+                packet.id.0,
+                lc as u32,
+                packet.ip_bytes,
+            );
+            tm::track_arrival(packet.id.0, lc as u32, packet.ip_bytes);
+            if let Some(egress) = route {
+                tm::event(
+                    tm::EventKind::FibLookup,
+                    packet.id.0,
+                    lc as u32,
+                    egress as u32,
+                );
+            }
+        }
         let meta = FlowMeta {
             id: packet.id,
             ip_bytes: packet.ip_bytes,
@@ -828,11 +865,24 @@ impl DraRouter {
         let latency = now - meta.arrived_at;
         let m = &mut self.metrics.lcs[meta.ingress as usize];
         m.deliver(meta.ip_bytes, latency);
+        m.ingress_delivered += 1;
         if meta.covered {
             m.covered_packets += 1;
         }
         self.latency_by_path[meta.path.index()].push(latency);
         self.latency_hist_by_path[meta.path.index()].record(latency);
+        #[cfg(feature = "telemetry")]
+        {
+            use dra_telemetry as tm;
+            tm::counter_add(tm::ids::DELIVERED, 1);
+            tm::event(
+                tm::EventKind::Deliver,
+                meta.id.0,
+                meta.ingress as u32,
+                meta.ip_bytes,
+            );
+            tm::finish_packet(meta.id.0);
+        }
     }
 
     /// Latency statistics of delivered packets, per [`PathKind`].
@@ -924,6 +974,17 @@ impl DraRouter {
                 if overflow {
                     self.drop(&meta, DropCause::VoqOverflow);
                 } else {
+                    #[cfg(feature = "telemetry")]
+                    {
+                        use dra_telemetry as tm;
+                        tm::counter_add(
+                            tm::ids::VOQ_ENQUEUED_CELLS,
+                            dra_net::sar::cells_for(meta.ip_bytes) as u64,
+                        );
+                        tm::event(tm::EventKind::VoqEnqueue, meta.id.0, src as u32, dst as u32);
+                        tm::mark_lookup_done(meta.id.0);
+                        tm::mark_voq_enqueue(meta.id.0);
+                    }
                     self.in_fabric.insert(meta.id, (meta, stages, idx + 1));
                 }
                 self.ensure_fabric_slot(ctx);
@@ -996,6 +1057,18 @@ impl DraRouter {
         *busy = done;
         self.metrics.eib_packets += 1;
         self.metrics.eib_bytes += meta.ip_bytes as u64;
+        #[cfg(feature = "telemetry")]
+        {
+            use dra_telemetry as tm;
+            tm::counter_add(tm::ids::EIB_DETOURS, 1);
+            tm::event(
+                tm::EventKind::EibDetour,
+                meta.id.0,
+                flow as u32,
+                meta.ip_bytes,
+            );
+            tm::mark_eib_hop(meta.id.0, start, done - start);
+        }
         ctx.schedule(
             done - now,
             DraEvent::StageStart {
@@ -1027,6 +1100,8 @@ impl DraRouter {
         match self.control.attempt(ctx.now()) {
             TxResult::Started { tx, done_at } => {
                 self.metrics.eib_control_packets += 1;
+                #[cfg(feature = "telemetry")]
+                dra_telemetry::counter_add(dra_telemetry::ids::EIB_CONTROL_ATTEMPTS, 1);
                 ctx.schedule(
                     done_at - ctx.now(),
                     DraEvent::ControlDone {
@@ -1054,6 +1129,8 @@ impl DraRouter {
             }
             TxResult::Collided { jam_until } => {
                 self.metrics.eib_collisions += 1;
+                #[cfg(feature = "telemetry")]
+                dra_telemetry::counter_add(dra_telemetry::ids::EIB_COLLISIONS, 1);
                 let backoff = self.control.backoff_delay(ctx.rng(), attempt + 1);
                 let wait = (jam_until - ctx.now()).max(0.0) + backoff + 1e-9;
                 ctx.schedule(
@@ -1153,6 +1230,18 @@ impl DraRouter {
             for &h in &slot {
                 let cell = self.fabric.take_cell(h);
                 let dst = cell.dst_lc;
+                #[cfg(feature = "telemetry")]
+                {
+                    use dra_telemetry as tm;
+                    tm::counter_add(tm::ids::CELLS_SWITCHED, 1);
+                    tm::event(
+                        tm::EventKind::FabricTransit,
+                        cell.packet.0,
+                        cell.src_lc as u32,
+                        dst as u32,
+                    );
+                    tm::mark_cell_switched(cell.packet.0);
+                }
                 match self.linecards[dst as usize].reassembler.push(&cell, now) {
                     Ok(Some((packet_id, _bytes))) => {
                         if let Some((meta, stages, idx)) = self.in_fabric.remove(&packet_id) {

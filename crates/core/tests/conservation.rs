@@ -1,0 +1,146 @@
+//! Packet-conservation invariant for both architectures.
+//!
+//! With arrivals stopped (`BdrConfig::arrival_stop_s`) and the
+//! pipeline drained past a few reassembly-purge cycles, every offered
+//! packet must resolve to exactly one terminal outcome:
+//!
+//! ```text
+//! offered == ingress_delivered + Σ drops-by-cause    (per linecard)
+//! offered == delivered + Σ drops-by-cause            (router totals)
+//! ```
+//!
+//! The per-linecard form uses the ingress-attributed delivery counter
+//! because the BDR model credits `delivered_packets` to the egress
+//! card while drops are charged to the ingress card.
+
+use dra_core::sim::{DraConfig, DraRouter};
+use dra_router::bdr::{BdrConfig, BdrRouter};
+use dra_router::components::ComponentKind;
+use dra_router::metrics::{DropCause, RouterMetrics};
+
+/// Arrivals stop here; the drain horizon runs several reassembly
+/// timeouts past it so purge reclaims every stuck partial.
+const STOP_S: f64 = 4e-3;
+const DRAIN_S: f64 = 40e-3;
+
+fn config(n_lcs: usize, load: f64) -> BdrConfig {
+    BdrConfig {
+        n_lcs,
+        load,
+        arrival_stop_s: Some(STOP_S),
+        ..BdrConfig::default()
+    }
+}
+
+fn assert_conserved(m: &RouterMetrics, label: &str) {
+    let mut total_offered = 0u64;
+    let mut total_delivered = 0u64;
+    let mut total_drops = 0u64;
+    for (i, lc) in m.lcs.iter().enumerate() {
+        let drops = lc.total_drops();
+        assert_eq!(
+            lc.offered_packets,
+            lc.ingress_delivered + drops,
+            "{label}: LC{i} offered {} != ingress-delivered {} + drops {} \
+             (by cause: {:?})",
+            lc.offered_packets,
+            lc.ingress_delivered,
+            drops,
+            DropCause::ALL.map(|c| (c.name(), lc.drops(c))),
+        );
+        total_offered += lc.offered_packets;
+        total_delivered += lc.delivered_packets;
+        total_drops += drops;
+    }
+    assert!(total_offered > 0, "{label}: no traffic offered");
+    assert_eq!(
+        total_offered,
+        total_delivered + total_drops,
+        "{label}: router totals do not conserve"
+    );
+}
+
+#[test]
+fn bdr_healthy_conserves_packets() {
+    for seed in [1u64, 42, 1234] {
+        let mut sim = BdrRouter::simulation(config(4, 0.4), seed);
+        sim.run_until(DRAIN_S);
+        assert_conserved(&sim.model().metrics, &format!("bdr healthy seed {seed}"));
+    }
+}
+
+#[test]
+fn bdr_with_faults_conserves_packets() {
+    let mut sim = BdrRouter::simulation(config(5, 0.3), 7);
+    sim.run_until(1e-3);
+    let now = sim.now();
+    sim.model_mut()
+        .fail_component_now(0, ComponentKind::Sru, now);
+    sim.model_mut()
+        .fail_component_now(2, ComponentKind::Piu, now);
+    sim.run_until(2.5e-3);
+    let now = sim.now();
+    sim.model_mut().repair_lc_now(0, now);
+    sim.run_until(DRAIN_S);
+    let m = &sim.model().metrics;
+    assert!(
+        m.total_drops(DropCause::IngressDown) > 0,
+        "faults never bit"
+    );
+    assert_conserved(m, "bdr faulted");
+}
+
+#[test]
+fn bdr_overload_conserves_packets_through_voq_overflow() {
+    // A tiny VOQ under full load forces VoqOverflow drops, whose
+    // stranded partial cells exercise the silent-purge path.
+    let cfg = BdrConfig {
+        voq_capacity: 8,
+        fabric_speedup: 1.0,
+        ..config(4, 1.0)
+    };
+    let mut sim = BdrRouter::simulation(cfg, 3);
+    sim.run_until(DRAIN_S);
+    let m = &sim.model().metrics;
+    assert!(
+        m.total_drops(DropCause::VoqOverflow) > 0,
+        "overload never overflowed a VOQ"
+    );
+    assert_conserved(m, "bdr overload");
+}
+
+#[test]
+fn dra_healthy_conserves_packets() {
+    for seed in [1u64, 42, 1234] {
+        let cfg = DraConfig {
+            router: config(4, 0.4),
+            ..Default::default()
+        };
+        let mut sim = DraRouter::simulation(cfg, seed);
+        sim.run_until(DRAIN_S);
+        assert_conserved(&sim.model().metrics, &format!("dra healthy seed {seed}"));
+    }
+}
+
+#[test]
+fn dra_with_coverage_conserves_packets() {
+    // A failed SRU sends LC0's traffic over the EIB coverage path;
+    // conservation must hold across EIB hops, control retries, and
+    // any oversubscription drops.
+    let cfg = DraConfig {
+        router: config(5, 0.3),
+        ..Default::default()
+    };
+    let mut sim = DraRouter::simulation(cfg, 11);
+    sim.run_until(1e-3);
+    let now = sim.now();
+    sim.model_mut()
+        .fail_component_now(0, ComponentKind::Sru, now);
+    sim.run_until(2.5e-3);
+    let now = sim.now();
+    sim.model_mut().repair_lc_now(0, now);
+    sim.run_until(DRAIN_S);
+    let m = &sim.model().metrics;
+    assert!(m.eib_packets > 0, "coverage path never used");
+    assert_conserved(m, "dra coverage");
+}

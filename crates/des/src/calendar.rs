@@ -37,7 +37,9 @@
 //!   the front would.
 //!
 //! Bucket count doubles when occupancy exceeds two events per bucket
-//! and halves below one per two buckets; each rebuild re-estimates the
+//! and halves below one per four buckets (the wide hysteresis band
+//! keeps an oscillating population from thrashing resizes); each
+//! rebuild re-estimates the
 //! bucket width from the inter-event gaps of a head sample, so the
 //! calendar tracks the event density as a simulation moves between
 //! regimes (warmup, steady state, drain).
@@ -139,6 +141,13 @@ impl<T> CalendarQueue<T> {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.len == 0 && self.stage.is_none()
+    }
+
+    /// Calendar buckets currently allocated. Exposed for telemetry:
+    /// resizes under load show up as a growing bucket count.
+    #[inline]
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
     }
 
     #[inline]
@@ -314,7 +323,13 @@ impl<T> CalendarQueue<T> {
             }),
             _ => None,
         };
-        if self.len < self.buckets.len() / 2 && self.buckets.len() > MIN_BUCKETS {
+        // Shrink only below one event per four buckets: with growth at
+        // two per bucket this leaves a 8x hysteresis band, so an event
+        // population that oscillates around a power-of-two boundary
+        // (e.g. a fabric slot's delivery batch draining each slot time)
+        // does not thrash grow/shrink resizes — and their allocations —
+        // at a steady rate.
+        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
             self.resize(self.buckets.len() / 2);
         }
         (e.time, e.seq, e.item)
@@ -505,6 +520,35 @@ mod tests {
             }
         }
         assert_eq!(q.len(), 300);
+    }
+
+    #[test]
+    fn oscillating_population_does_not_thrash_resizes() {
+        // A population that swings across the grow threshold (like a
+        // fabric slot's delivery batch draining every slot time) must
+        // settle at one bucket count, not bounce grow/shrink forever.
+        let mut q = CalendarQueue::new();
+        let mut seq = 0u64;
+        let mut t = 0.0;
+        for _ in 0..4 {
+            while q.len() < 16 {
+                t += 1e-6;
+                q.push(t, seq, ());
+                seq += 1;
+            }
+        }
+        let settled = q.bucket_count();
+        for _ in 0..200 {
+            while q.len() > 7 {
+                q.pop().unwrap();
+            }
+            while q.len() < 16 {
+                t += 1e-6;
+                q.push(t, seq, ());
+                seq += 1;
+            }
+            assert_eq!(q.bucket_count(), settled, "resize thrash at seq {seq}");
+        }
     }
 
     #[test]

@@ -61,6 +61,8 @@ impl<'a, E> Ctx<'a, E> {
         );
         let seq = *self.seq;
         *self.seq += 1;
+        #[cfg(feature = "telemetry")]
+        dra_telemetry::des_scheduled();
         self.queue.push(self.now + delay, seq, event);
     }
 
@@ -73,6 +75,8 @@ impl<'a, E> Ctx<'a, E> {
         );
         let seq = *self.seq;
         *self.seq += 1;
+        #[cfg(feature = "telemetry")]
+        dra_telemetry::des_scheduled();
         self.queue.push(at, seq, event);
     }
 
@@ -179,6 +183,8 @@ impl<M: Model> Simulation<M> {
         );
         let seq = self.seq;
         self.seq += 1;
+        #[cfg(feature = "telemetry")]
+        dra_telemetry::des_scheduled();
         self.queue.push(self.now + delay, seq, event);
     }
 
@@ -191,6 +197,8 @@ impl<M: Model> Simulation<M> {
         debug_assert!(time >= self.now, "time went backwards");
         self.now = time;
         self.events_processed += 1;
+        #[cfg(feature = "telemetry")]
+        dra_telemetry::des_event(self.now, self.queue.len(), self.queue.bucket_count());
         let mut ctx = Ctx {
             now: self.now,
             seq: &mut self.seq,
@@ -220,6 +228,8 @@ impl<M: Model> Simulation<M> {
             debug_assert!(time >= self.now, "time went backwards");
             self.now = time;
             self.events_processed += 1;
+            #[cfg(feature = "telemetry")]
+            dra_telemetry::des_event(self.now, self.queue.len(), self.queue.bucket_count());
             let mut ctx = Ctx {
                 now: self.now,
                 seq: &mut self.seq,

@@ -155,6 +155,26 @@ impl TimeWeighted {
         self.last_v
     }
 
+    /// Merge a time-adjacent shard into this accumulator (parallel
+    /// sweeps split by *time*, mirroring [`Welford::merge`]).
+    ///
+    /// `other` must track the same signal over a later window:
+    /// `other.start_t >= self.last_t`. Any gap between this
+    /// accumulator's last update and `other`'s start is bridged with
+    /// the current value — exactly what a sequential accumulator would
+    /// have integrated, since the signal is piecewise-constant.
+    pub fn merge(&mut self, other: &TimeWeighted) {
+        debug_assert!(
+            other.start_t >= self.last_t,
+            "TimeWeighted::merge: shards must be time-adjacent (other starts at {}, self last updated at {})",
+            other.start_t,
+            self.last_t
+        );
+        self.integral += self.last_v * (other.start_t - self.last_t) + other.integral;
+        self.last_t = other.last_t;
+        self.last_v = other.last_v;
+    }
+
     /// Time-weighted mean over `[start, t_end]`.
     pub fn average(&self, t_end: f64) -> f64 {
         debug_assert!(t_end >= self.last_t);
@@ -241,6 +261,28 @@ impl LogHistogram {
             }
         }
         f64::INFINITY
+    }
+
+    /// Merge another histogram into this one (parallel sweeps,
+    /// mirroring [`Welford::merge`]). Bucketed counts are exact, so
+    /// merged quantiles equal sequential quantiles bit-for-bit.
+    ///
+    /// # Panics
+    /// Panics unless both histograms were built with the same
+    /// `(lo, hi, n)` bucket layout.
+    pub fn merge(&mut self, other: &LogHistogram) {
+        assert!(
+            self.lo == other.lo
+                && self.ratio == other.ratio
+                && self.counts.len() == other.counts.len(),
+            "LogHistogram::merge: bucket layouts differ"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
     }
 
     /// Count of observations that exceeded the top bucket.

@@ -373,6 +373,17 @@ impl Reassembler {
         if slot.count == cell.total {
             let bytes = slot.bytes;
             self.release(bucket);
+            #[cfg(feature = "telemetry")]
+            {
+                use dra_telemetry as tm;
+                tm::counter_add(tm::ids::PACKETS_REASSEMBLED, 1);
+                tm::event(
+                    tm::EventKind::Reassembly,
+                    cell.packet.0,
+                    cell.src_lc as u32,
+                    bytes,
+                );
+            }
             Ok(Some((cell.packet, bytes)))
         } else {
             Ok(None)

@@ -16,7 +16,7 @@ use crate::fabric::Crossbar;
 use crate::faults::{FaultInjector, Generations};
 use crate::ingress::ArrivalTrain;
 use crate::linecard::Linecard;
-use crate::metrics::{DropCause, LcMetrics, RouterMetrics};
+use crate::metrics::{note_drop, DropCause, LcMetrics, RouterMetrics};
 use dra_des::{Ctx, Model, Simulation};
 use dra_net::addr::{Ipv4Addr, Ipv4Prefix};
 use dra_net::fib::Fib;
@@ -59,6 +59,12 @@ pub struct BdrConfig {
     /// simulation seconds. 3600 maps paper-hours to sim-seconds
     /// faithfully; tests use small values to accelerate failures.
     pub fault_delay_scale: f64,
+    /// Stop drawing new arrivals at this sim-time (`None` = never).
+    /// Running the simulation past the stop drains the pipeline, so
+    /// every offered packet resolves to delivered-or-dropped and the
+    /// conservation invariant `offered == delivered + Σ drops` holds
+    /// exactly.
+    pub arrival_stop_s: Option<f64>,
 }
 
 impl Default for BdrConfig {
@@ -77,6 +83,7 @@ impl Default for BdrConfig {
             reassembly_timeout_s: 10e-3,
             faults: None,
             fault_delay_scale: 3600.0,
+            arrival_stop_s: None,
         }
     }
 }
@@ -127,6 +134,11 @@ pub enum BdrEvent {
         ip_bytes: u32,
         /// Ingress timestamp, for latency accounting.
         arrived_at: f64,
+        /// The delivered packet (telemetry lifecycle tracking).
+        packet: PacketId,
+        /// Ingress linecard, for ingress-attributed delivery
+        /// accounting (conservation invariant).
+        ingress: u16,
     },
     /// A component fails (stamped with the LC's repair generation).
     Fail {
@@ -365,7 +377,10 @@ impl BdrRouter {
             &mut self.traffic_rngs[lc as usize],
             &self.linecards[lc as usize].fib,
         );
-        ctx.schedule(arrival.dt, BdrEvent::Arrival { lc });
+        let next_at = ctx.now() + arrival.dt;
+        if self.config.arrival_stop_s.is_none_or(|stop| next_at < stop) {
+            ctx.schedule(arrival.dt, BdrEvent::Arrival { lc });
+        }
 
         let packet = Packet::new(
             self.id_gens[lc as usize].next_id(),
@@ -376,10 +391,32 @@ impl BdrRouter {
             ctx.now(),
         );
         self.metrics_of(lc).offer(packet.ip_bytes);
+        #[cfg(feature = "telemetry")]
+        {
+            use dra_telemetry as tm;
+            tm::counter_add(tm::ids::ARRIVALS, 1);
+            tm::counter_add(tm::ids::FIB_LOOKUPS, 1);
+            tm::event(
+                tm::EventKind::Arrival,
+                packet.id.0,
+                lc as u32,
+                packet.ip_bytes,
+            );
+            tm::track_arrival(packet.id.0, lc as u32, packet.ip_bytes);
+            if let Some(egress) = route {
+                tm::event(
+                    tm::EventKind::FibLookup,
+                    packet.id.0,
+                    lc as u32,
+                    egress as u32,
+                );
+            }
+        }
 
         if !self.lc_operational(lc) {
             self.metrics_of(lc)
                 .drop_packet(DropCause::IngressDown, packet.ip_bytes);
+            note_drop(packet.id, DropCause::IngressDown, lc);
             return;
         }
         // A partially PIU-failed card has lost that share of its
@@ -388,16 +425,19 @@ impl BdrRouter {
         if piu_loss > 0.0 && dra_des::random::coin(ctx.rng(), piu_loss) {
             self.metrics_of(lc)
                 .drop_packet(DropCause::IngressDown, packet.ip_bytes);
+            note_drop(packet.id, DropCause::IngressDown, lc);
             return;
         }
         let Some(egress) = route else {
             self.metrics_of(lc)
                 .drop_packet(DropCause::NoRoute, packet.ip_bytes);
+            note_drop(packet.id, DropCause::NoRoute, lc);
             return;
         };
         if !self.lc_operational(egress) {
             self.metrics_of(lc)
                 .drop_packet(DropCause::EgressDown, packet.ip_bytes);
+            note_drop(packet.id, DropCause::EgressDown, lc);
             return;
         }
         // Likewise for the egress card's disconnected ports.
@@ -405,11 +445,13 @@ impl BdrRouter {
         if egress_loss > 0.0 && dra_des::random::coin(ctx.rng(), egress_loss) {
             self.metrics_of(lc)
                 .drop_packet(DropCause::EgressDown, packet.ip_bytes);
+            note_drop(packet.id, DropCause::EgressDown, lc);
             return;
         }
         if !self.fabric.operational() {
             self.metrics_of(lc)
                 .drop_packet(DropCause::FabricDown, packet.ip_bytes);
+            note_drop(packet.id, DropCause::FabricDown, lc);
             return;
         }
         let delay = self.linecards[lc as usize].ingress_delay(&packet);
@@ -433,9 +475,26 @@ impl BdrRouter {
         if overflowed {
             self.metrics_of(lc)
                 .drop_packet(DropCause::VoqOverflow, packet.ip_bytes);
+            note_drop(packet.id, DropCause::VoqOverflow, lc);
             // Any cells already enqueued will strand in the egress
             // reassembler and be reclaimed by the periodic purge.
         } else {
+            #[cfg(feature = "telemetry")]
+            {
+                use dra_telemetry as tm;
+                tm::counter_add(
+                    tm::ids::VOQ_ENQUEUED_CELLS,
+                    dra_net::sar::cells_for(packet.ip_bytes) as u64,
+                );
+                tm::event(
+                    tm::EventKind::VoqEnqueue,
+                    packet.id.0,
+                    lc as u32,
+                    egress as u32,
+                );
+                tm::mark_lookup_done(packet.id.0);
+                tm::mark_voq_enqueue(packet.id.0);
+            }
             self.in_flight.insert(
                 packet.id,
                 InFlight {
@@ -471,6 +530,18 @@ impl BdrRouter {
             for &h in &slot {
                 let cell = self.fabric.take_cell(h);
                 let egress = cell.dst_lc;
+                #[cfg(feature = "telemetry")]
+                {
+                    use dra_telemetry as tm;
+                    tm::counter_add(tm::ids::CELLS_SWITCHED, 1);
+                    tm::event(
+                        tm::EventKind::FabricTransit,
+                        cell.packet.0,
+                        cell.src_lc as u32,
+                        egress as u32,
+                    );
+                    tm::mark_cell_switched(cell.packet.0);
+                }
                 match self.linecards[egress as usize].reassembler.push(&cell, now) {
                     Ok(Some((packet_id, ip_bytes))) => {
                         let Some(meta) = self.in_flight.remove(&packet_id) else {
@@ -479,6 +550,7 @@ impl BdrRouter {
                         if !self.lc_operational(egress) {
                             self.metrics_of(meta.ingress)
                                 .drop_packet(DropCause::EgressDown, ip_bytes);
+                            note_drop(packet_id, DropCause::EgressDown, meta.ingress);
                             continue;
                         }
                         let delay = self.linecards[egress as usize].egress_delay(ip_bytes);
@@ -488,6 +560,8 @@ impl BdrRouter {
                                 lc: egress,
                                 ip_bytes,
                                 arrived_at: meta.arrived_at,
+                                packet: packet_id,
+                                ingress: meta.ingress,
                             },
                         );
                     }
@@ -544,6 +618,7 @@ impl BdrRouter {
                 if let Some(meta) = self.in_flight.remove(&packet_id) {
                     self.metrics.lcs[meta.ingress as usize]
                         .drop_packet(DropCause::ReassemblyTimeout, meta.ip_bytes);
+                    note_drop(packet_id, DropCause::ReassemblyTimeout, meta.ingress);
                 }
             }
         }
@@ -579,9 +654,20 @@ impl Model for BdrRouter {
                 lc,
                 ip_bytes,
                 arrived_at,
+                packet,
+                ingress,
             } => {
                 let now = ctx.now();
                 self.metrics.lcs[lc as usize].deliver(ip_bytes, now - arrived_at);
+                self.metrics.lcs[ingress as usize].ingress_delivered += 1;
+                let _ = packet;
+                #[cfg(feature = "telemetry")]
+                {
+                    use dra_telemetry as tm;
+                    tm::counter_add(tm::ids::DELIVERED, 1);
+                    tm::event(tm::EventKind::Deliver, packet.0, lc as u32, ip_bytes);
+                    tm::finish_packet(packet.0);
+                }
             }
             BdrEvent::Fail { lc, kind, gen } => self.handle_fail(lc, kind, gen, ctx),
             BdrEvent::Repair { lc } => self.handle_repair(lc, ctx),

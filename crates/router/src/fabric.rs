@@ -508,6 +508,17 @@ impl Crossbar {
             let o = self.input_matched[input];
             if o != usize::MAX {
                 let h = self.pop_matched(input, o);
+                #[cfg(feature = "telemetry")]
+                {
+                    use dra_telemetry as tm;
+                    tm::counter_add(tm::ids::ISLIP_GRANTS, 1);
+                    tm::event(
+                        tm::EventKind::IslipGrant,
+                        self.arena.get(h).packet.0,
+                        input as u32,
+                        o as u32,
+                    );
+                }
                 out.push(h);
             }
         }

@@ -1,7 +1,22 @@
 //! Offered/delivered/drop accounting for router simulations.
 
-use dra_des::stats::{TimeWeighted, Welford};
+use dra_des::stats::{LogHistogram, TimeWeighted, Welford};
 use std::fmt;
+
+/// Shared bucket layout for every delivered-latency histogram
+/// (per-linecard, per-path, and telemetry lifecycle decompositions),
+/// so shard histograms merge without re-bucketing: 100 ns .. 10 ms in
+/// 100 logarithmic buckets.
+pub const LATENCY_HIST_LO: f64 = 100e-9;
+/// Upper bound of the shared latency bucket layout.
+pub const LATENCY_HIST_HI: f64 = 10e-3;
+/// Bucket count of the shared latency bucket layout.
+pub const LATENCY_HIST_BUCKETS: usize = 100;
+
+/// A fresh histogram with the shared latency layout.
+pub fn latency_histogram() -> LogHistogram {
+    LogHistogram::new(LATENCY_HIST_LO, LATENCY_HIST_HI, LATENCY_HIST_BUCKETS)
+}
 
 /// Why a packet (or its cells) never made it out of the router.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -39,7 +54,9 @@ impl DropCause {
         DropCause::NoCoverage,
     ];
 
-    fn index(self) -> usize {
+    /// Position of this cause in [`DropCause::ALL`] (also the stable
+    /// index used by telemetry drop events and campaign artifacts).
+    pub const fn index(self) -> usize {
         match self {
             DropCause::IngressDown => 0,
             DropCause::EgressDown => 1,
@@ -51,11 +68,10 @@ impl DropCause {
             DropCause::NoCoverage => 7,
         }
     }
-}
 
-impl fmt::Display for DropCause {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let s = match self {
+    /// Stable lowercase name (the `Display` form).
+    pub const fn name(self) -> &'static str {
+        match self {
             DropCause::IngressDown => "ingress-down",
             DropCause::EgressDown => "egress-down",
             DropCause::VoqOverflow => "voq-overflow",
@@ -64,8 +80,23 @@ impl fmt::Display for DropCause {
             DropCause::NoRoute => "no-route",
             DropCause::EibOversubscribed => "eib-oversubscribed",
             DropCause::NoCoverage => "no-coverage",
-        };
-        write!(f, "{s}")
+        }
+    }
+}
+
+/// Telemetry hook for a dropped packet: records the drop in the
+/// thread-local telemetry hub when the `telemetry` feature is on and
+/// compiles to nothing otherwise. Shared by the BDR and DRA models so
+/// every drop site reports the same event shape.
+#[inline]
+pub fn note_drop(_packet: dra_net::packet::PacketId, _cause: DropCause, _lc: u16) {
+    #[cfg(feature = "telemetry")]
+    dra_telemetry::packet_dropped(_packet.0, _cause.index() as u32, _lc as u32, _cause.name());
+}
+
+impl fmt::Display for DropCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
     }
 }
 
@@ -82,11 +113,21 @@ pub struct LcMetrics {
     pub delivered_bytes: u64,
     /// Packets delivered *for this LC* via the EIB coverage path.
     pub covered_packets: u64,
+    /// Packets delivered whose *ingress* was this LC. The BDR model
+    /// attributes `delivered_packets` to the egress card; this counter
+    /// is always ingress-attributed, so per-linecard conservation
+    /// (`offered == ingress_delivered + Σ drops`) holds on both
+    /// architectures.
+    pub ingress_delivered: u64,
     /// Drop counters indexed by [`DropCause`].
     drops: [u64; 8],
     dropped_bytes: [u64; 8],
     /// End-to-end latency of delivered packets (seconds).
     pub latency: Welford,
+    /// Bucketed latency distribution of the same deliveries, in the
+    /// shared [`latency_histogram`] layout; unlike the scalar
+    /// [`Welford`] it yields p50/p99 and merges exactly across shards.
+    pub latency_hist: LogHistogram,
     /// 1.0 while this LC can deliver service, 0.0 while it cannot.
     pub availability: TimeWeighted,
 }
@@ -100,9 +141,11 @@ impl LcMetrics {
             delivered_packets: 0,
             delivered_bytes: 0,
             covered_packets: 0,
+            ingress_delivered: 0,
             drops: [0; 8],
             dropped_bytes: [0; 8],
             latency: Welford::new(),
+            latency_hist: latency_histogram(),
             availability: TimeWeighted::new(0.0, 1.0),
         }
     }
@@ -118,6 +161,7 @@ impl LcMetrics {
         self.delivered_packets += 1;
         self.delivered_bytes += bytes as u64;
         self.latency.push(latency_s);
+        self.latency_hist.record(latency_s);
     }
 
     /// Record a drop.
@@ -205,6 +249,16 @@ impl RouterMetrics {
         self.lcs.iter().map(|m| m.drops(cause)).sum()
     }
 
+    /// Delivered-latency histogram merged across all linecards, for
+    /// router-wide p50/p99 reporting.
+    pub fn latency_hist_total(&self) -> LogHistogram {
+        let mut total = latency_histogram();
+        for lc in &self.lcs {
+            total.merge(&lc.latency_hist);
+        }
+        total
+    }
+
     /// Router-wide byte delivery ratio.
     pub fn byte_delivery_ratio(&self) -> f64 {
         let offered = self.total_offered_bytes();
@@ -266,6 +320,21 @@ mod tests {
         m.availability.update(15.0, 1.0); // repaired at t=15
         let a = m.availability.average(20.0);
         assert!((a - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_histogram_tracks_deliveries_and_merges() {
+        let mut r = RouterMetrics::new(2);
+        r.lcs[0].deliver(100, 5e-6);
+        r.lcs[0].deliver(100, 5e-6);
+        r.lcs[1].deliver(100, 2e-3);
+        let total = r.latency_hist_total();
+        assert_eq!(total.count(), 3);
+        // Two of three observations sit near 5 µs, so the median does.
+        let p50 = total.quantile(0.5);
+        assert!((1e-6..1e-5).contains(&p50), "p50 = {p50}");
+        let p99 = total.quantile(0.99);
+        assert!(p99 > 1e-3, "p99 = {p99}");
     }
 
     #[test]

@@ -1,0 +1,160 @@
+//! A compact log-spaced histogram for the metrics registry.
+//!
+//! This is a deliberate (documented) twin of
+//! `dra_des::stats::LogHistogram`: the telemetry crate must stay
+//! dependency-free so `des` itself can emit telemetry, which rules out
+//! reusing the des type. Bucketing, quantile semantics, and merge
+//! behaviour match the des implementation exactly — counts are exact
+//! integers, so sharded merges reproduce sequential quantiles
+//! bit-for-bit.
+
+/// Log-spaced bucket counts over `[lo, hi)` with under/overflow rails.
+#[derive(Debug, Clone)]
+pub struct CompactHist {
+    lo: f64,
+    ratio: f64,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    total: u64,
+}
+
+impl CompactHist {
+    /// Buckets spanning `[lo, hi)` with `n` logarithmic divisions.
+    ///
+    /// # Panics
+    /// Panics unless `0 < lo < hi` and `n > 0`.
+    pub fn new(lo: f64, hi: f64, n: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && n > 0, "CompactHist: bad params");
+        CompactHist {
+            lo,
+            ratio: (hi / lo).powf(1.0 / n as f64),
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&mut self, x: f64) {
+        self.total += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            return;
+        }
+        let idx = ((x / self.lo).ln() / self.ratio.ln()).floor() as usize;
+        if idx >= self.counts.len() {
+            self.overflow += 1;
+        } else {
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Total observations, including under/overflow.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Count below the bottom bucket.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Count of observations that exceeded the top bucket.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Approximate quantile: the geometric midpoint of the bucket
+    /// containing quantile `q` (`lo` if it lands in underflow, `+inf`
+    /// if it lands in overflow, NaN when empty).
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = ((q * self.total as f64).ceil() as u64).max(1);
+        let mut acc = self.underflow;
+        if acc >= target && self.underflow > 0 {
+            return self.lo;
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                let lo = self.lo * self.ratio.powi(i as i32);
+                return lo * self.ratio.sqrt();
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// Merge another histogram into this one (worker shards).
+    ///
+    /// # Panics
+    /// Panics unless both were built with the same `(lo, hi, n)`.
+    pub fn merge(&mut self, other: &CompactHist) {
+        assert!(
+            self.lo == other.lo
+                && self.ratio == other.ratio
+                && self.counts.len() == other.counts.len(),
+            "CompactHist::merge: bucket layouts differ"
+        );
+        for (c, &o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.total += other.total;
+    }
+
+    /// Reset all counts, keeping the bucket layout.
+    pub fn clear(&mut self) {
+        self.counts.iter_mut().for_each(|c| *c = 0);
+        self.underflow = 0;
+        self.overflow = 0;
+        self.total = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_equals_sequential() {
+        let mut sequential = CompactHist::new(1e-9, 1.0, 90);
+        let mut a = CompactHist::new(1e-9, 1.0, 90);
+        let mut b = CompactHist::new(1e-9, 1.0, 90);
+        for i in 1..500u32 {
+            let x = i as f64 * 3.7e-6;
+            sequential.record(x);
+            if i % 3 == 0 {
+                a.record(x);
+            } else {
+                b.record(x);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), sequential.count());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile(q), sequential.quantile(q));
+        }
+    }
+
+    #[test]
+    fn rails() {
+        let mut h = CompactHist::new(1.0, 10.0, 4);
+        h.record(0.5);
+        h.record(100.0);
+        h.record(3.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 3);
+        assert!(h.quantile(1.0).is_infinite());
+        h.clear();
+        assert_eq!(h.count(), 0);
+        assert!(h.quantile(0.5).is_nan());
+    }
+}

@@ -1,0 +1,62 @@
+//! Minimal deterministic JSON emission helpers.
+//!
+//! The telemetry crate is dependency-free, so it carries its own tiny
+//! writer. Number formatting matches `dra_campaign::json::write_num`
+//! (integral values print as integers, everything else uses Rust's
+//! shortest-roundtrip `{}`), so a snapshot parsed by the campaign's
+//! JSON module and re-emitted is byte-stable.
+
+use std::fmt::Write;
+
+/// Append `x` formatted exactly like the campaign JSON writer.
+pub fn num(out: &mut String, x: f64) {
+    assert!(x.is_finite(), "JSON cannot represent {x}");
+    if x.fract() == 0.0 && x.abs() < 2f64.powi(53) {
+        write!(out, "{}", x as i64).expect("write to String");
+    } else {
+        write!(out, "{x}").expect("write to String");
+    }
+}
+
+/// Append `x` as a JSON number (u64 counters; exact up to 2^53).
+pub fn uint(out: &mut String, x: u64) {
+    write!(out, "{x}").expect("write to String");
+}
+
+/// Append `s` as a JSON string literal with escaping.
+pub fn str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("write to String");
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_match_campaign_writer() {
+        let mut s = String::new();
+        num(&mut s, 3.0);
+        s.push(' ');
+        num(&mut s, -7.0);
+        s.push(' ');
+        num(&mut s, 0.12345678901234566);
+        assert_eq!(s, "3 -7 0.12345678901234566");
+        let mut q = String::new();
+        str(&mut q, "a\"b\\c\nd");
+        assert_eq!(q, "\"a\\\"b\\\\c\\nd\"");
+    }
+}

@@ -1,0 +1,268 @@
+//! Point-in-time, mergeable export of a telemetry hub.
+//!
+//! Campaign workers snapshot their thread-local hub after each cell;
+//! the engine merges snapshots (in cell order) into one
+//! `dra-telemetry/v1` section. Every merge operation is commutative
+//! and associative — counter adds, exact histogram-bucket adds, gauge
+//! maxima, earliest-anomaly-wins — so the merged section is identical
+//! whether one worker ran the campaign or eight did.
+
+use crate::hist::CompactHist;
+use crate::jsonw;
+use crate::recorder::Event;
+
+/// Version tag of the exported JSON section.
+pub const SNAPSHOT_FORMAT: &str = "dra-telemetry/v1";
+
+/// Flight-recorder window frozen by the first anomaly trigger.
+#[derive(Debug, Clone)]
+pub struct Anomaly {
+    /// What tripped the recorder (e.g. "first eib-oversubscribed drop").
+    pub reason: String,
+    /// Sim-time of the trigger.
+    pub t: f64,
+    /// The retained event window, oldest first.
+    pub events: Vec<Event>,
+}
+
+/// Mergeable snapshot of one hub's registry + recorder + sampler.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Sampling modulus in force (0 = sampling off).
+    pub sample_every: u64,
+    /// Packets that entered the lifecycle sample.
+    pub sampled_packets: u64,
+    /// Sampled packets still in flight when the snapshot was taken.
+    pub open_tracks: u64,
+    /// Registry counters, registration order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Registry gauges, registration order (merged by max).
+    pub gauges: Vec<(&'static str, f64)>,
+    /// Registry histograms, registration order.
+    pub hists: Vec<(&'static str, CompactHist)>,
+    /// Total events appended to the flight recorder.
+    pub ring_appended: u64,
+    /// Flight-recorder capacity.
+    pub ring_capacity: u64,
+    /// First anomaly dump, if one tripped.
+    pub anomaly: Option<Anomaly>,
+}
+
+/// Cap on anomaly events serialized into the JSON section (the full
+/// window stays available in the struct).
+const ANOMALY_EVENTS_IN_JSON: usize = 64;
+
+impl Snapshot {
+    /// Merge another worker's snapshot into this one.
+    ///
+    /// # Panics
+    /// Panics if the registries disagree (different metric names or
+    /// histogram layouts) — snapshots must come from the same build.
+    pub fn merge(&mut self, other: &Snapshot) {
+        assert_eq!(
+            self.counters.len(),
+            other.counters.len(),
+            "Snapshot::merge: counter registries differ"
+        );
+        self.sample_every = self.sample_every.max(other.sample_every);
+        self.sampled_packets += other.sampled_packets;
+        self.open_tracks += other.open_tracks;
+        for ((name, v), (oname, ov)) in self.counters.iter_mut().zip(&other.counters) {
+            assert_eq!(name, oname, "Snapshot::merge: counter registries differ");
+            *v += ov;
+        }
+        for ((name, v), (oname, ov)) in self.gauges.iter_mut().zip(&other.gauges) {
+            assert_eq!(name, oname, "Snapshot::merge: gauge registries differ");
+            *v = v.max(*ov);
+        }
+        assert_eq!(
+            self.hists.len(),
+            other.hists.len(),
+            "Snapshot::merge: histogram registries differ"
+        );
+        for ((name, h), (oname, oh)) in self.hists.iter_mut().zip(&other.hists) {
+            assert_eq!(name, oname, "Snapshot::merge: histogram registries differ");
+            h.merge(oh);
+        }
+        self.ring_appended += other.ring_appended;
+        self.ring_capacity = self.ring_capacity.max(other.ring_capacity);
+        // Earliest anomaly wins; ties keep the current one, which is
+        // order-stable because the campaign merges in cell order.
+        match (&self.anomaly, &other.anomaly) {
+            (None, Some(_)) => self.anomaly = other.anomaly.clone(),
+            (Some(mine), Some(theirs)) if theirs.t < mine.t => {
+                self.anomaly = other.anomaly.clone();
+            }
+            _ => {}
+        }
+    }
+
+    /// Serialize as a compact `dra-telemetry/v1` JSON object.
+    ///
+    /// The text parses with `dra_campaign::json::Json::parse` (the
+    /// campaign embeds it that way) and with any standard JSON loader
+    /// (the CI job uses Python's).
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"format\":");
+        jsonw::str(&mut out, SNAPSHOT_FORMAT);
+        out.push_str(",\"sample_every\":");
+        jsonw::uint(&mut out, self.sample_every);
+        out.push_str(",\"sampled_packets\":");
+        jsonw::uint(&mut out, self.sampled_packets);
+        out.push_str(",\"open_tracks\":");
+        jsonw::uint(&mut out, self.open_tracks);
+        out.push_str(",\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            jsonw::str(&mut out, name);
+            out.push(':');
+            jsonw::uint(&mut out, *v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            jsonw::str(&mut out, name);
+            out.push(':');
+            jsonw::num(&mut out, *v);
+        }
+        out.push_str("},\"hists\":{");
+        for (i, (name, h)) in self.hists.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            jsonw::str(&mut out, name);
+            out.push_str(":{\"count\":");
+            jsonw::uint(&mut out, h.count());
+            out.push_str(",\"underflow\":");
+            jsonw::uint(&mut out, h.underflow());
+            out.push_str(",\"overflow\":");
+            jsonw::uint(&mut out, h.overflow());
+            if h.count() > 0 && h.count() > h.overflow() {
+                for (key, q) in [("p50", 0.5), ("p90", 0.9), ("p99", 0.99)] {
+                    let x = h.quantile(q);
+                    if x.is_finite() {
+                        out.push_str(",\"");
+                        out.push_str(key);
+                        out.push_str("\":");
+                        jsonw::num(&mut out, x);
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("},\"recorder\":{\"appended\":");
+        jsonw::uint(&mut out, self.ring_appended);
+        out.push_str(",\"capacity\":");
+        jsonw::uint(&mut out, self.ring_capacity);
+        out.push_str("},\"anomaly\":");
+        match &self.anomaly {
+            None => out.push_str("null"),
+            Some(a) => {
+                out.push_str("{\"reason\":");
+                jsonw::str(&mut out, &a.reason);
+                out.push_str(",\"t\":");
+                jsonw::num(&mut out, a.t);
+                let skip = a.events.len().saturating_sub(ANOMALY_EVENTS_IN_JSON);
+                out.push_str(",\"events_truncated\":");
+                out.push_str(if skip > 0 { "true" } else { "false" });
+                out.push_str(",\"events\":[");
+                for (i, ev) in a.events[skip..].iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str("{\"t\":");
+                    jsonw::num(&mut out, ev.t);
+                    out.push_str(",\"kind\":");
+                    jsonw::str(&mut out, ev.kind.name());
+                    out.push_str(",\"a\":");
+                    jsonw::uint(&mut out, ev.a as u64);
+                    out.push_str(",\"b\":");
+                    jsonw::uint(&mut out, ev.b as u64);
+                    out.push_str(",\"packet\":");
+                    jsonw::uint(&mut out, ev.packet);
+                    out.push('}');
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::EventKind;
+
+    fn snap(c: u64) -> Snapshot {
+        let mut h = CompactHist::new(1e-9, 1.0, 90);
+        h.record(1e-5 * (c + 1) as f64);
+        Snapshot {
+            sample_every: 64,
+            sampled_packets: c,
+            open_tracks: 0,
+            counters: vec![("router.arrivals", c * 10)],
+            gauges: vec![("des.sim_time", c as f64)],
+            hists: vec![("latency.total", h)],
+            ring_appended: c,
+            ring_capacity: 1024,
+            anomaly: None,
+        }
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let (a, b, c) = (snap(1), snap(2), snap(3));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = c.clone();
+        right.merge(&a);
+        right.merge(&b);
+        assert_eq!(left.to_json_string(), right.to_json_string());
+        assert_eq!(left.counters[0].1, 60);
+        assert_eq!(left.gauges[0].1, 3.0);
+        assert_eq!(left.hists[0].1.count(), 3);
+    }
+
+    #[test]
+    fn earliest_anomaly_wins() {
+        let mut a = snap(1);
+        let mut b = snap(2);
+        a.anomaly = Some(Anomaly {
+            reason: "late".into(),
+            t: 5.0,
+            events: vec![],
+        });
+        b.anomaly = Some(Anomaly {
+            reason: "early".into(),
+            t: 1.0,
+            events: vec![Event {
+                t: 0.9,
+                kind: EventKind::Drop,
+                a: 6,
+                b: 0,
+                packet: 3,
+            }],
+        });
+        a.merge(&b);
+        assert_eq!(a.anomaly.as_ref().unwrap().reason, "early");
+        let json = a.to_json_string();
+        assert!(json.contains("\"anomaly\":{\"reason\":\"early\""));
+        assert!(json.contains("\"kind\":\"drop\""));
+    }
+
+    #[test]
+    fn json_has_versioned_format() {
+        let json = snap(0).to_json_string();
+        assert!(json.starts_with("{\"format\":\"dra-telemetry/v1\""));
+        assert!(json.contains("\"counters\":{\"router.arrivals\":0}"));
+        assert!(json.contains("\"anomaly\":null"));
+    }
+}

@@ -1,0 +1,114 @@
+//! Chrome `trace_event` export: one JSON file a run drops straight
+//! into Perfetto (ui.perfetto.dev) or `chrome://tracing`.
+//!
+//! Sampled packets become complete ("X") spans — one per lifecycle
+//! phase — grouped by process id (the campaign maps pid to the cell
+//! index; standalone runs use the ingress linecard) with the packet id
+//! as thread id, so a packet's phases stack on one timeline row.
+//! Drops and anomalies are instant ("i") events.
+
+use crate::jsonw;
+
+/// One Chrome trace event (subset: complete + instant phases).
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name shown on the span.
+    pub name: &'static str,
+    /// `'X'` (complete, has `dur`) or `'i'` (instant).
+    pub ph: char,
+    /// Start, microseconds of sim-time.
+    pub ts_us: f64,
+    /// Duration in microseconds (complete events only).
+    pub dur_us: f64,
+    /// Process id lane (cell index under the campaign, else linecard).
+    pub pid: u32,
+    /// Thread id lane (packet id truncated to 32 bits).
+    pub tid: u32,
+    /// Full packet id, attached under `args`.
+    pub packet: u64,
+}
+
+/// Serialize events to a Chrome `trace_event` JSON object.
+///
+/// Output is `{"traceEvents": [...], "displayTimeUnit": "ns"}`; event
+/// order is preserved, so callers control determinism by ordering the
+/// slice (the campaign sorts by cell index first).
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(64 + events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    for (i, ev) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"name\":");
+        jsonw::str(&mut out, ev.name);
+        out.push_str(",\"ph\":");
+        let ph = ev.ph.to_string();
+        jsonw::str(&mut out, &ph);
+        out.push_str(",\"ts\":");
+        jsonw::num(&mut out, ev.ts_us);
+        if ev.ph == 'X' {
+            out.push_str(",\"dur\":");
+            jsonw::num(&mut out, ev.dur_us);
+        } else {
+            // Thread-scoped instant: renders as a marker on the row.
+            out.push_str(",\"s\":\"t\"");
+        }
+        out.push_str(",\"pid\":");
+        jsonw::uint(&mut out, ev.pid as u64);
+        out.push_str(",\"tid\":");
+        jsonw::uint(&mut out, ev.tid as u64);
+        out.push_str(",\"args\":{\"packet\":");
+        jsonw::uint(&mut out, ev.packet);
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ns\"}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_json_shape() {
+        let events = vec![
+            TraceEvent {
+                name: "switching",
+                ph: 'X',
+                ts_us: 12.5,
+                dur_us: 3.25,
+                pid: 0,
+                tid: 7,
+                packet: (1 << 48) | 7,
+            },
+            TraceEvent {
+                name: "drop:voq-overflow",
+                ph: 'i',
+                ts_us: 20.0,
+                dur_us: 0.0,
+                pid: 0,
+                tid: 9,
+                packet: 9,
+            },
+        ];
+        let s = chrome_trace_json(&events);
+        assert!(s.starts_with("{\"traceEvents\":["));
+        assert!(s.contains("\"ph\":\"X\""));
+        assert!(s.contains("\"dur\":3.25"));
+        assert!(s.contains("\"ph\":\"i\""));
+        assert!(s.contains("\"s\":\"t\""));
+        assert!(s.ends_with("],\"displayTimeUnit\":\"ns\"}"));
+        // Instant events carry no dur.
+        let instant = &s[s.find("drop:voq-overflow").unwrap()..];
+        assert!(!instant.contains("\"dur\""));
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}"
+        );
+    }
+}

@@ -14,6 +14,9 @@
 //!   dependability and degradation analyses.
 //! * [`campaign`] — the declarative, parallel, deterministic
 //!   experiment-campaign engine and its JSON artifact pipeline.
+//! * [`telemetry`] (behind the `telemetry` cargo feature) — the
+//!   flight recorder, mergeable metrics registry, and sim-time trace
+//!   export wired through all of the above.
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -24,6 +27,8 @@ pub use dra_linalg as linalg;
 pub use dra_markov as markov;
 pub use dra_net as net;
 pub use dra_router as router;
+#[cfg(feature = "telemetry")]
+pub use dra_telemetry as telemetry;
 
 /// Crate version of the reproduction, for reporting in experiment output.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
