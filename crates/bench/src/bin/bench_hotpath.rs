@@ -24,6 +24,10 @@
 //!   pipeline: the batched LFE front end alone
 //!   ([`ArrivalTrain::pop`] per slot train), then the full SAR round
 //!   trip (pop → segment into cells → egress reassembly);
+//! * **topo** — the network-of-routers layer: routes/second through
+//!   the topology → BFS → compiled-FIB setup path on BA(64), and
+//!   delivered packets/second through a healthy 4×4-mesh
+//!   co-simulation (the topo sweep's unit of work);
 //! * **end-to-end** — wall-clock events/second and delivered
 //!   cells/second for one BDR + DRA faceoff cell (same seed, same
 //!   scripted SRU failure — the campaign grid's unit of work).
@@ -508,6 +512,101 @@ fn bench_ingress(quick: bool) -> Json {
     Json::Arr(entries)
 }
 
+// --------------------------------------------------------------------- topo
+
+/// The network-of-routers layer, measured at its two cost centers:
+/// `route_compile` is the per-replication setup every topo-sweep cell
+/// pays (build BA(64), BFS route derivation, compile one DIR-24-8 FIB
+/// per node), and `mesh_4x4_net` is wall-clock end-to-end packets per
+/// second through a healthy 4×4-mesh co-simulation of 16 embedded
+/// routers — the sweep's unit of work.
+fn bench_topo(quick: bool) -> Json {
+    use dra_core::handle::ArchKind;
+    use dra_topo::engine::build_network;
+    use dra_topo::link::LinkConfig;
+    use dra_topo::routes::{compile_fibs, RouteTables};
+    use dra_topo::spec::{FlowSpec, TopoCellSpec, TopoFaultSpec};
+    use dra_topo::topology::{Topology, TopologyKind};
+
+    let reps = if quick { 1 } else { 3 };
+    let mut entries = Vec::new();
+
+    // Workload 1: topology → routes → compiled FIBs, rate in installed
+    // routes (node × destination-prefix pairs) per second.
+    {
+        let kind = TopologyKind::BarabasiAlbert {
+            n: 64,
+            m: 2,
+            seed: 7,
+        };
+        let passes = if quick { 4u32 } else { 32 };
+        let mut best = 0.0f64;
+        let mut routes_installed = 0u64;
+        for _ in 0..reps {
+            routes_installed = 0;
+            let t0 = Instant::now();
+            for _ in 0..passes {
+                let topo = Topology::build(kind);
+                let tables = RouteTables::derive(&topo);
+                let fibs = compile_fibs(&topo, &tables);
+                routes_installed += fibs.iter().map(|f| f.len() as u64).sum::<u64>();
+                std::hint::black_box(&fibs);
+            }
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            best = best.max(routes_installed as f64 / dt);
+        }
+        assert!(routes_installed > 0, "no routes compiled");
+        entries.push(Json::obj(vec![
+            ("name", Json::Str("route_compile".to_string())),
+            ("items", Json::Num(routes_installed as f64)),
+            ("rate_per_sec", Json::Num(best)),
+        ]));
+    }
+
+    // Workload 2: delivered end-to-end packets per wall-clock second
+    // on a healthy 4×4 mesh (DRA routers, the pricier architecture).
+    {
+        let horizon = if quick { 5e-3 } else { 20e-3 };
+        let cell = TopoCellSpec {
+            id: "bench/mesh-4x4".into(),
+            arch: ArchKind::Dra,
+            topology: TopologyKind::Mesh2D { rows: 4, cols: 4 },
+            link: LinkConfig::default(),
+            flows: FlowSpec {
+                n_flows: 24,
+                rate_pps: 40_000.0,
+                packet_bytes: 700,
+            },
+            faults: TopoFaultSpec::None,
+            horizon_s: horizon,
+            drain_s: horizon * 0.25,
+            replications: 1,
+            seed_group: 0,
+        };
+        let mut best = 0.0f64;
+        let mut delivered = 0u64;
+        for _ in 0..reps {
+            let net = build_network(&cell, 0xD8A_70B0, 0);
+            let mut sim = net.simulation(0xD8A_70B0);
+            let t0 = Instant::now();
+            sim.run_until(horizon);
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            let stats = &sim.model().stats;
+            assert!(stats.conserved(), "bench cell violated conservation");
+            delivered = stats.delivered;
+            best = best.max(delivered as f64 / dt);
+        }
+        assert!(delivered > 0, "bench cell delivered nothing");
+        entries.push(Json::obj(vec![
+            ("name", Json::Str("mesh_4x4_net".to_string())),
+            ("items", Json::Num(delivered as f64)),
+            ("rate_per_sec", Json::Num(best)),
+        ]));
+    }
+
+    Json::Arr(entries)
+}
+
 // --------------------------------------------------------------- end-to-end
 
 /// One faceoff cell: 8 cards at load 0.6, an SRU failure mid-run.
@@ -661,6 +760,7 @@ fn speedup_section(artifact: &Json, baseline: &Json) -> Json {
         ("islip_saturated", "ports", "slots_per_sec"),
         ("lookup", "stream", "dir248_per_sec"),
         ("ingress", "name", "packets_per_sec"),
+        ("topo", "name", "rate_per_sec"),
         ("end_to_end", "arch", "events_per_sec"),
     ] {
         if let (Some(c), Some(b)) = (artifact.get(section), baseline.get(section)) {
@@ -729,6 +829,11 @@ fn check(artifact: &Json) -> Result<(), String> {
     }
     if artifact.get("ingress").is_some() {
         check_section(artifact, "ingress", &["name", "packets", "packets_per_sec"])?;
+    }
+    // Optional: artifacts predating the network-of-routers layer
+    // (BENCH_pr2..pr4.json) lack the topo section.
+    if artifact.get("topo").is_some() {
+        check_section(artifact, "topo", &["name", "items", "rate_per_sec"])?;
     }
     Ok(())
 }
@@ -805,6 +910,8 @@ fn main() {
     let lookup = bench_lookup(quick);
     eprintln!("bench-hotpath: ingress pipeline ...");
     let ingress = bench_ingress(quick);
+    eprintln!("bench-hotpath: network-of-routers ...");
+    let topo = bench_topo(quick);
     eprintln!("bench-hotpath: end-to-end faceoff cell ...");
     #[cfg(feature = "telemetry")]
     if telemetry {
@@ -828,6 +935,7 @@ fn main() {
         ("islip_saturated", islip_sat),
         ("lookup", lookup),
         ("ingress", ingress),
+        ("topo", topo),
         ("end_to_end", e2e),
     ]);
     #[cfg(feature = "telemetry")]

@@ -31,6 +31,7 @@ struct Cli {
     csv: bool,
     list: bool,
     check: Option<PathBuf>,
+    dry_run: bool,
     progress: bool,
     telemetry: bool,
     telemetry_out: Option<PathBuf>,
@@ -42,6 +43,7 @@ fn usage() -> ! {
         "usage: campaign [--spec NAME] [--quick] [--workers N] [--seed S]\n\
          \x20               [--replications R] [--out PATH | --no-out]\n\
          \x20               [--cell-budget N] [--fresh] [--csv] [--progress]\n\
+         \x20               [--dry-run]\n\
          \x20               [--telemetry] [--telemetry-out PATH] [--trace PATH]\n\
          \x20      campaign --list\n\
          \x20      campaign --check PATH\n\
@@ -50,6 +52,8 @@ fn usage() -> ! {
          versioned JSON artifact to results/<spec>.json. Interrupted\n\
          runs resume from the .partial.jsonl checkpoint automatically.\n\
          \n\
+         --dry-run        print the expanded grid (cell count, axes)\n\
+         \x20               and exit without simulating\n\
          --progress       heartbeat on stderr (cells done, elapsed, ETA)\n\
          --telemetry      embed a dra-telemetry/v1 section in the artifact\n\
          --telemetry-out  write the merged snapshot to a separate file\n\
@@ -74,6 +78,7 @@ fn parse_cli() -> Cli {
         csv: false,
         list: false,
         check: None,
+        dry_run: false,
         progress: false,
         telemetry: false,
         telemetry_out: None,
@@ -104,6 +109,7 @@ fn parse_cli() -> Cli {
             "--csv" => cli.csv = true,
             "--list" => cli.list = true,
             "--check" => cli.check = Some(PathBuf::from(value("--check"))),
+            "--dry-run" => cli.dry_run = true,
             "--progress" => cli.progress = true,
             "--telemetry" => cli.telemetry = true,
             "--telemetry-out" => cli.telemetry_out = Some(PathBuf::from(value("--telemetry-out"))),
@@ -177,6 +183,45 @@ fn main() -> ExitCode {
         for cell in &mut spec.cells {
             cell.replications = reps.max(1);
         }
+    }
+
+    if cli.dry_run {
+        let rows: Vec<Vec<String>> = spec
+            .cells
+            .iter()
+            .map(|cell| {
+                let scenario = match &cell.scenario {
+                    dra_campaign::spec::ScenarioTemplate::Explicit(s) => {
+                        format!("explicit ({} actions, {}s)", s.len(), s.horizon())
+                    }
+                    dra_campaign::spec::ScenarioTemplate::Sampled { horizon_s, .. } => {
+                        format!("sampled ({horizon_s}s)")
+                    }
+                };
+                vec![
+                    cell.id.clone(),
+                    cell.arch.name().into(),
+                    format!("{}", cell.config.n_lcs),
+                    format!("{:.2}", cell.config.load),
+                    scenario,
+                    format!("{}", cell.replications),
+                    format!("{}", cell.seed_group),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("campaign {} [{}] — dry run", spec.name, spec.digest()),
+            &["id", "arch", "lcs", "load", "scenario", "reps", "group"],
+            &rows,
+        );
+        let total_reps: usize = spec.cells.iter().map(|c| c.replications).sum();
+        println!(
+            "{} cells, {} total replications, master seed {}; nothing simulated",
+            spec.cells.len(),
+            total_reps,
+            spec.master_seed
+        );
+        return ExitCode::SUCCESS;
     }
 
     let out = if cli.no_out {

@@ -24,16 +24,22 @@
 //!   (the paper had no such cross-check).
 //! * [`scenario`] — declarative fault timelines that run identically
 //!   against both architectures, for apples-to-apples comparisons.
+//! * [`handle`] — a steppable per-router simulation handle (lazy time
+//!   advance, fault-schedule injection, serviceability queries) so the
+//!   network-of-routers layer (`dra-topo`) can co-simulate N routers
+//!   on one shared clock.
 
 #![warn(missing_docs)]
 
 pub mod analysis;
 pub mod coverage;
 pub mod eib;
+pub mod handle;
 pub mod montecarlo;
 pub mod scenario;
 pub mod sim;
 
 pub use coverage::{CoveragePlanner, CoverageRoute, LcView};
 pub use eib::bandwidth::promised_bandwidth;
+pub use handle::{ArchKind, RouterHandle};
 pub use sim::{DraConfig, DraRouter};

@@ -1,0 +1,106 @@
+//! The inter-router link model: fixed propagation latency, a fluid
+//! FIFO serialization queue per direction, and an up/down state.
+//!
+//! A directed link is busy until `busy_until`; a packet arriving at
+//! `t` starts serializing at `max(t, busy_until)` and finishes
+//! `bytes·8 / bandwidth` later. If that would queue the packet more
+//! than `max_backlog_s` behind real time the link is congested and the
+//! packet is dropped — a fluid stand-in for a finite egress buffer
+//! that keeps per-link state to two scalars.
+
+/// Link parameters (uniform across a topology).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkConfig {
+    /// One-way propagation delay, seconds.
+    pub latency_s: f64,
+    /// Serialization rate, bits per second.
+    pub bandwidth_bps: f64,
+    /// Maximum tolerated serialization backlog before tail drop,
+    /// seconds of queued transmission time.
+    pub max_backlog_s: f64,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            latency_s: 10e-6,
+            bandwidth_bps: 10e9,
+            max_backlog_s: 500e-6,
+        }
+    }
+}
+
+/// Mutable state of one *directed* link.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkState {
+    /// Serialization queue drains at this absolute time.
+    pub busy_until: f64,
+    /// Both directions of a cable fail together; each carries a copy.
+    pub up: bool,
+}
+
+impl Default for LinkState {
+    fn default() -> Self {
+        LinkState {
+            busy_until: 0.0,
+            up: true,
+        }
+    }
+}
+
+/// Outcome of offering a packet to a directed link at time `now`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkOffer {
+    /// Accepted; arrives at the far end after `delay_s`.
+    Sent {
+        /// Queueing + serialization + propagation, from `now`.
+        delay_s: f64,
+    },
+    /// The link is administratively/physically down.
+    Down,
+    /// The serialization backlog exceeded `max_backlog_s`.
+    Congested,
+}
+
+impl LinkState {
+    /// Offer `bytes` to this direction at `now` under `cfg`.
+    pub fn offer(&mut self, cfg: &LinkConfig, now: f64, bytes: u32) -> LinkOffer {
+        if !self.up {
+            return LinkOffer::Down;
+        }
+        let start = self.busy_until.max(now);
+        let finish = start + bytes as f64 * 8.0 / cfg.bandwidth_bps;
+        if finish - now > cfg.max_backlog_s {
+            return LinkOffer::Congested;
+        }
+        self.busy_until = finish;
+        LinkOffer::Sent {
+            delay_s: finish - now + cfg.latency_s,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_backlog_and_congestion() {
+        let cfg = LinkConfig {
+            latency_s: 1e-6,
+            bandwidth_bps: 8e9, // 1 ns per byte
+            max_backlog_s: 2e-6,
+        };
+        let mut l = LinkState::default();
+        // 1000 B = 1 µs of wire time.
+        assert_eq!(l.offer(&cfg, 0.0, 1000), LinkOffer::Sent { delay_s: 2e-6 });
+        // Second packet queues behind the first: 2 µs backlog, at limit.
+        assert_eq!(l.offer(&cfg, 0.0, 1000), LinkOffer::Sent { delay_s: 3e-6 });
+        // Third exceeds the backlog bound.
+        assert_eq!(l.offer(&cfg, 0.0, 1000), LinkOffer::Congested);
+        // After the queue drains, service resumes.
+        assert!(matches!(l.offer(&cfg, 10e-6, 1000), LinkOffer::Sent { .. }));
+        l.up = false;
+        assert_eq!(l.offer(&cfg, 20e-6, 1000), LinkOffer::Down);
+    }
+}

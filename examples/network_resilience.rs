@@ -1,0 +1,87 @@
+//! The headline network-level result: end-to-end delivery ratio and
+//! flow availability of a fat-tree(4) built from BDR routers vs the
+//! same fabric built from DRA routers, as a function of how many
+//! routers are concurrently degraded.
+//!
+//! ```sh
+//! cargo run --release --example network_resilience
+//! ```
+//!
+//! Per-router, DRA's EIB coverage turns a dead switching/forwarding
+//! card into a serviceable one. Composed across a network, that is the
+//! difference between rerouting around k black holes and not noticing
+//! them at all: identical topology, identical flows, identical fault
+//! instants — only the architecture differs.
+
+use dra::core::handle::ArchKind;
+use dra::topo::engine::build_network;
+use dra::topo::link::LinkConfig;
+use dra::topo::spec::{FlowSpec, TopoCellSpec, TopoFaultSpec};
+use dra::topo::topology::TopologyKind;
+use dra::topo::NetStats;
+
+const MASTER_SEED: u64 = 0xD8A_70B0;
+const HORIZON_S: f64 = 20e-3;
+
+/// One (architecture, k-failed-routers) point on the curve.
+fn run_point(arch: ArchKind, k: u32) -> NetStats {
+    let faults = if k == 0 {
+        TopoFaultSpec::None
+    } else {
+        TopoFaultSpec::FailRouters {
+            k,
+            at_s: HORIZON_S * 0.25,
+        }
+    };
+    let cell = TopoCellSpec {
+        id: format!("{}/fat-tree-k4/{}", arch.label(), faults.label()),
+        arch,
+        topology: TopologyKind::FatTree { k: 4 },
+        link: LinkConfig::default(),
+        flows: FlowSpec {
+            n_flows: 24,
+            rate_pps: 40_000.0,
+            packet_bytes: 700,
+        },
+        faults,
+        horizon_s: HORIZON_S,
+        drain_s: HORIZON_S * 0.25,
+        replications: 1,
+        // Same group for every point: k is the only moving part.
+        seed_group: 0,
+    };
+    let net = build_network(&cell, MASTER_SEED, 0);
+    let mut sim = net.simulation(MASTER_SEED);
+    sim.run_until(HORIZON_S);
+    let stats = sim.into_model().stats;
+    assert!(stats.conserved(), "packet conservation violated");
+    stats
+}
+
+fn main() {
+    println!("fat-tree(4): 20 routers, 32 cables, 24 Poisson flows, 40 kpps each");
+    println!("degrade k routers (SRU dead on every even linecard) at t=5 ms\n");
+    println!(
+        "{:>2}  {:>12} {:>10}  |  {:>12} {:>10}  |  DRA advantage",
+        "k", "BDR deliv", "BDR avail", "DRA deliv", "DRA avail"
+    );
+    for k in [0u32, 1, 2, 4, 8] {
+        let bdr = run_point(ArchKind::Bdr, k);
+        let dra = run_point(ArchKind::Dra, k);
+        // Twin runs share seeds: identical offered traffic.
+        assert_eq!(bdr.injected, dra.injected);
+        let (bd, dd) = (bdr.delivery_ratio(), dra.delivery_ratio());
+        println!(
+            "{k:>2}  {:>11.3}% {:>10.3}  |  {:>11.3}% {:>10.3}  |  +{:.3}% delivery",
+            100.0 * bd,
+            bdr.flow_availability(0.99),
+            100.0 * dd,
+            dra.flow_availability(0.99),
+            100.0 * (dd - bd),
+        );
+    }
+    println!(
+        "\nSame flows, same failure instants, same seeds — the delivery gap\n\
+         is purely the EIB covering dead cards that BDR must black-hole."
+    );
+}

@@ -14,6 +14,9 @@
 //!   dependability and degradation analyses.
 //! * [`campaign`] — the declarative, parallel, deterministic
 //!   experiment-campaign engine and its JSON artifact pipeline.
+//! * [`topo`] — the network-of-routers layer: topologies of
+//!   co-simulated BDR/DRA routers, multi-hop flows, and composed
+//!   network-reliability sweeps (`dra-topo/v1` artifacts).
 //! * [`telemetry`] (behind the `telemetry` cargo feature) — the
 //!   flight recorder, mergeable metrics registry, and sim-time trace
 //!   export wired through all of the above.
@@ -29,6 +32,7 @@ pub use dra_net as net;
 pub use dra_router as router;
 #[cfg(feature = "telemetry")]
 pub use dra_telemetry as telemetry;
+pub use dra_topo as topo;
 
 /// Crate version of the reproduction, for reporting in experiment output.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");
