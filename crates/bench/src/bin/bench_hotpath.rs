@@ -28,6 +28,11 @@
 //!   the topology → BFS → compiled-FIB setup path on BA(64), and
 //!   delivered packets/second through a healthy 4×4-mesh
 //!   co-simulation (the topo sweep's unit of work);
+//! * **pdes** — the conservative parallel network engine
+//!   ([`dra_topo::pdes`]) vs the serial oracle on 64- and 128-router
+//!   networks: delivered packets/second at `sim_threads` 1 and 4 with
+//!   a bit-identity assertion between the two, plus the speedup ratio
+//!   (meaningful only on multi-core hosts);
 //! * **end-to-end** — wall-clock events/second and delivered
 //!   cells/second for one BDR + DRA faceoff cell (same seed, same
 //!   scripted SRU failure — the campaign grid's unit of work).
@@ -607,6 +612,97 @@ fn bench_topo(quick: bool) -> Json {
     Json::Arr(entries)
 }
 
+// --------------------------------------------------------------------- pdes
+
+/// The conservative parallel network engine against the serial oracle
+/// on the scale sweep's workloads (64- and 128-router networks). Each
+/// entry runs the identical cell at `sim_threads` 1 and 4, asserts the
+/// final counters and latency moments agree bit-for-bit, and reports
+/// delivered end-to-end packets per wall-clock second for both plus
+/// the ratio. The speedup is only meaningful on a multi-core host —
+/// on a single-core runner the windowed engine pays its barrier cost
+/// for nothing and the ratio sits at or below 1.
+fn bench_pdes(quick: bool) -> Json {
+    use dra_core::handle::ArchKind;
+    use dra_topo::engine::build_network;
+    use dra_topo::link::LinkConfig;
+    use dra_topo::spec::{FlowSpec, TopoCellSpec, TopoFaultSpec};
+    use dra_topo::topology::TopologyKind;
+
+    let reps = if quick { 1 } else { 3 };
+    let threads = 4usize;
+    let horizon = if quick { 4e-3 } else { 12e-3 };
+    let cases: &[(&str, TopologyKind)] = if quick {
+        &[("mesh_8x8", TopologyKind::Mesh2D { rows: 8, cols: 8 })]
+    } else {
+        &[
+            ("mesh_8x8", TopologyKind::Mesh2D { rows: 8, cols: 8 }),
+            (
+                "ba_128",
+                TopologyKind::BarabasiAlbert {
+                    n: 128,
+                    m: 2,
+                    seed: 11,
+                },
+            ),
+        ]
+    };
+    let mut entries = Vec::new();
+    for &(name, topology) in cases {
+        let cell = TopoCellSpec {
+            id: format!("bench/{name}"),
+            arch: ArchKind::Dra,
+            topology,
+            link: LinkConfig::default(),
+            flows: FlowSpec {
+                n_flows: if quick { 24 } else { 48 },
+                rate_pps: 40_000.0,
+                packet_bytes: 700,
+            },
+            faults: TopoFaultSpec::None,
+            horizon_s: horizon,
+            drain_s: horizon * 0.25,
+            replications: 1,
+            seed_group: 0,
+        };
+        let timed = |sim_threads: usize| {
+            let mut best = 0.0f64;
+            let mut last = None;
+            for _ in 0..reps {
+                let mut net = build_network(&cell, 0xD8A_70B0, 0);
+                net.cfg.sim_threads = sim_threads;
+                let t0 = Instant::now();
+                let done = net.run(0xD8A_70B0, horizon);
+                let dt = t0.elapsed().as_secs_f64().max(1e-9);
+                assert!(done.stats.conserved(), "bench pdes cell not conserved");
+                best = best.max(done.stats.delivered as f64 / dt);
+                last = Some(done.stats);
+            }
+            (best, last.expect("reps >= 1"))
+        };
+        let (serial_rate, serial) = timed(1);
+        let (par_rate, parallel) = timed(threads);
+        assert_eq!(serial.injected, parallel.injected, "{name}: injected");
+        assert_eq!(serial.delivered, parallel.delivered, "{name}: delivered");
+        assert_eq!(serial.drops, parallel.drops, "{name}: drops");
+        assert_eq!(
+            serial.latency.mean().to_bits(),
+            parallel.latency.mean().to_bits(),
+            "{name}: latency moments must be bit-identical"
+        );
+        assert!(serial.delivered > 0, "{name}: delivered nothing");
+        entries.push(Json::obj(vec![
+            ("name", Json::Str(name.to_string())),
+            ("items", Json::Num(serial.delivered as f64)),
+            ("rate_per_sec", Json::Num(par_rate)),
+            ("serial_per_sec", Json::Num(serial_rate)),
+            ("threads", Json::Num(threads as f64)),
+            ("speedup_vs_serial", Json::Num(par_rate / serial_rate)),
+        ]));
+    }
+    Json::Arr(entries)
+}
+
 // --------------------------------------------------------------- end-to-end
 
 /// One faceoff cell: 8 cards at load 0.6, an SRU failure mid-run.
@@ -761,6 +857,7 @@ fn speedup_section(artifact: &Json, baseline: &Json) -> Json {
         ("lookup", "stream", "dir248_per_sec"),
         ("ingress", "name", "packets_per_sec"),
         ("topo", "name", "rate_per_sec"),
+        ("pdes", "name", "rate_per_sec"),
         ("end_to_end", "arch", "events_per_sec"),
     ] {
         if let (Some(c), Some(b)) = (artifact.get(section), baseline.get(section)) {
@@ -834,6 +931,22 @@ fn check(artifact: &Json) -> Result<(), String> {
     // (BENCH_pr2..pr4.json) lack the topo section.
     if artifact.get("topo").is_some() {
         check_section(artifact, "topo", &["name", "items", "rate_per_sec"])?;
+    }
+    // Optional: artifacts predating the parallel network engine lack
+    // the pdes section.
+    if artifact.get("pdes").is_some() {
+        check_section(
+            artifact,
+            "pdes",
+            &[
+                "name",
+                "items",
+                "rate_per_sec",
+                "serial_per_sec",
+                "threads",
+                "speedup_vs_serial",
+            ],
+        )?;
     }
     Ok(())
 }
@@ -912,6 +1025,8 @@ fn main() {
     let ingress = bench_ingress(quick);
     eprintln!("bench-hotpath: network-of-routers ...");
     let topo = bench_topo(quick);
+    eprintln!("bench-hotpath: parallel network engine ...");
+    let pdes = bench_pdes(quick);
     eprintln!("bench-hotpath: end-to-end faceoff cell ...");
     #[cfg(feature = "telemetry")]
     if telemetry {
@@ -936,6 +1051,7 @@ fn main() {
         ("lookup", lookup),
         ("ingress", ingress),
         ("topo", topo),
+        ("pdes", pdes),
         ("end_to_end", e2e),
     ]);
     #[cfg(feature = "telemetry")]

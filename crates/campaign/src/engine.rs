@@ -239,8 +239,12 @@ pub fn run(spec: &CampaignSpec, opts: &RunOptions) -> std::io::Result<CampaignOu
             Err(p) => {
                 // The whole cell panicked before it could checkpoint;
                 // record the failure so the artifact stays complete.
+                // Key by the cell index the panic itself carries —
+                // `pending[p.index]` — not the zip position, so the
+                // attribution holds even if result order ever changes.
                 failed += 1;
-                let j = error_cell(spec, *idx, &p.message);
+                debug_assert_eq!(pending[p.index], *idx);
+                let j = error_cell(spec, pending[p.index], &p.message);
                 if let Some(f) = &ckpt {
                     let mut f = f.lock().expect("checkpoint lock");
                     writeln!(f, "{}", j.to_string_compact())?;

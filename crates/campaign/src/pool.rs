@@ -74,7 +74,11 @@ impl WorkerPool {
         let threads = self.workers.min(n);
         if threads == 1 {
             // Run inline: no thread spawn cost, same semantics.
-            return inputs.iter().map(|input| run_item(&f, input)).collect();
+            return inputs
+                .iter()
+                .enumerate()
+                .map(|(idx, input)| run_item(&f, input, idx))
+                .collect();
         }
 
         let results: Mutex<Vec<Option<Result<O, ItemPanic>>>> =
@@ -96,7 +100,7 @@ impl WorkerPool {
                     let item = work.lock().expect("work queue lock").next();
                     match item {
                         Some((idx, input)) => {
-                            let out = run_item(f, &input);
+                            let out = run_item(f, &input, idx);
                             results.lock().expect("results lock")[idx] = Some(out);
                         }
                         None => break,
@@ -114,8 +118,9 @@ impl WorkerPool {
     }
 }
 
-fn run_item<I, O, F: Fn(&I) -> O>(f: &F, input: &I) -> Result<O, ItemPanic> {
+fn run_item<I, O, F: Fn(&I) -> O>(f: &F, input: &I, index: usize) -> Result<O, ItemPanic> {
     catch_unwind(AssertUnwindSafe(|| f(input))).map_err(|payload| ItemPanic {
+        index,
         message: panic_message(payload.as_ref()),
     })
 }
@@ -123,6 +128,12 @@ fn run_item<I, O, F: Fn(&I) -> O>(f: &F, input: &I) -> Result<O, ItemPanic> {
 /// A captured panic from one work item.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ItemPanic {
+    /// Position of the panicked item in the *input* vector. `try_map`
+    /// already returns results in input order, but a caller that keys
+    /// records by item identity must use this — not the result slot it
+    /// happened to read the error from — so a future reordering of the
+    /// result vector cannot silently mis-attribute failures.
+    pub index: usize,
     /// The panic payload rendered as text (`&str`/`String` payloads;
     /// anything else becomes a placeholder).
     pub message: String,
@@ -194,9 +205,27 @@ mod tests {
             if i % 7 == 3 {
                 let p = r.as_ref().unwrap_err();
                 assert!(p.message.contains("poisoned item"), "{:?}", p);
+                assert_eq!(p.index, i, "panic must carry its input index");
             } else {
                 assert_eq!(*r.as_ref().unwrap(), i as u32 * 10);
             }
+        }
+    }
+
+    #[test]
+    fn item_panic_index_names_the_input_position() {
+        for workers in [1, 4] {
+            let out = WorkerPool::new(workers).try_map(vec![10u32, 11, 12, 13], |&x| {
+                if x % 2 == 1 {
+                    panic!("odd input {x}");
+                }
+                x
+            });
+            let bad: Vec<usize> = out
+                .iter()
+                .filter_map(|r| r.as_ref().err().map(|p| p.index))
+                .collect();
+            assert_eq!(bad, vec![1, 3], "workers = {workers}");
         }
     }
 

@@ -1,0 +1,370 @@
+//! Conservative parallel discrete-event execution.
+//!
+//! The kernel in [`sim`](crate::sim) is strictly serial: one clock,
+//! one queue. This module adds the classic conservative alternative
+//! for models that decompose into **logical processes** (LPs) whose
+//! only interaction is timestamped messages with a known minimum
+//! latency (the *lookahead* `L`): advance every LP independently
+//! through fixed barrier windows of width `L / 2`, exchanging the
+//! cross-LP messages each window produced at the barrier.
+//!
+//! Why `L / 2` and not `L`: an event emitted at local time `t` inside
+//! window `k` arrives at `t + L` at the earliest. With window width
+//! `W = L / 2` the arrival lands at least a **full window** past the
+//! end of window `k + 1`, so the safety argument needs only
+//! `arrival > window_end` with a margin of `W` — immune to `f64`
+//! rounding at the boundary — while still delivering every message
+//! one barrier before the window that could consume it.
+//!
+//! Determinism contract (the same discipline the campaign worker pool
+//! and telemetry merge already follow): thread count never changes a
+//! byte of the result. Three rules enforce it:
+//!
+//! 1. Windows are a pure function of `(lookahead, horizon)` — never of
+//!    the thread count.
+//! 2. Cross messages are tagged `(destination, source LP, emission
+//!    index within the source's window)` and applied sorted by that
+//!    key at the barrier, so the arrival order at any LP is
+//!    independent of which thread ran which LP when.
+//! 3. LPs are partitioned into contiguous index ranges, but because of
+//!    rules 1–2 the partition shape is unobservable to the model.
+//!
+//! Equal-*timestamp* cross messages from **different** sources are
+//! ordered by source id rather than by a global scheduling sequence
+//! (which no longer exists); models whose distinct-provenance event
+//! times are continuous random variables — every simulation in this
+//! workspace — hit that case with probability zero. See
+//! `DESIGN.md` for the full fine print.
+
+use std::sync::{Barrier, Mutex};
+
+/// One logical process: a self-contained sub-simulation that can
+/// advance to a time bound and absorb timestamped cross-LP messages.
+pub trait LogicalProcess: Send {
+    /// Message type carried between LPs (must embed its own timestamp;
+    /// the executor never inspects it).
+    type Cross: Send;
+
+    /// Advance local state, handling every pending local event with
+    /// time ≤ `window_end`. Messages for other LPs — which must be
+    /// timestamped at least one lookahead after the emitting event —
+    /// go into `out`.
+    fn advance_window(&mut self, window_end: f64, out: &mut Outbox<Self::Cross>);
+
+    /// Absorb one cross message (enqueue it as a local future event).
+    /// Called only between windows, in deterministic `(source,
+    /// emission-index)` order.
+    fn accept(&mut self, msg: Self::Cross);
+}
+
+/// Collector for cross-LP messages emitted during one LP's window.
+pub struct Outbox<C> {
+    events: Vec<(u32, C)>,
+}
+
+impl<C> Outbox<C> {
+    fn new() -> Self {
+        Outbox { events: Vec::new() }
+    }
+
+    /// Emit `msg` toward LP `dst`.
+    pub fn send(&mut self, dst: u32, msg: C) {
+        self.events.push((dst, msg));
+    }
+
+    /// Messages emitted so far in this window.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been emitted this window.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// A cross message in transit between windows, tagged with its
+/// deterministic merge key.
+struct Tagged<C> {
+    dst: u32,
+    src: u32,
+    idx: u32,
+    msg: C,
+}
+
+/// Summary of one windowed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WindowReport {
+    /// Barrier windows executed.
+    pub windows: u64,
+    /// Cross-LP messages exchanged.
+    pub cross_messages: u64,
+}
+
+/// Advance `lps` to `horizon` on `threads` scoped threads using
+/// conservative barrier windows of width `lookahead / 2`.
+///
+/// The result is byte-identical at every `threads` value (see the
+/// module docs for the contract). `threads` is clamped to
+/// `[1, lps.len()]`.
+///
+/// # Panics
+/// Panics if `lookahead` or `horizon` is non-positive or non-finite.
+/// A panic inside any LP propagates after all threads join.
+pub fn run_windows<L: LogicalProcess>(
+    lps: &mut [L],
+    lookahead: f64,
+    horizon: f64,
+    threads: usize,
+) -> WindowReport {
+    assert!(
+        lookahead > 0.0 && lookahead.is_finite(),
+        "run_windows: lookahead must be positive and finite, got {lookahead}"
+    );
+    assert!(
+        horizon >= 0.0 && horizon.is_finite(),
+        "run_windows: horizon must be nonnegative and finite, got {horizon}"
+    );
+    if lps.is_empty() {
+        return WindowReport {
+            windows: 0,
+            cross_messages: 0,
+        };
+    }
+    let width = lookahead / 2.0;
+    // Enough windows that the last boundary clamps to exactly
+    // `horizon`; at least one so t = 0 events run even at horizon 0.
+    let n_windows = ((horizon / width).ceil() as u64).max(1);
+    let threads = threads.clamp(1, lps.len());
+    let n_lps = lps.len();
+
+    // Contiguous LP ranges per thread (the shape is unobservable —
+    // see the module docs — so a simple even split suffices).
+    let bound = |t: usize| t * n_lps / threads;
+    let mut chunks: Vec<(usize, &mut [L])> = Vec::with_capacity(threads);
+    let mut rest = lps;
+    for t in 0..threads {
+        let take = bound(t + 1) - bound(t);
+        let (head, tail) = rest.split_at_mut(take);
+        chunks.push((bound(t), head));
+        rest = tail;
+    }
+
+    let barrier = Barrier::new(threads);
+    let slots: Vec<Mutex<Vec<Tagged<L::Cross>>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let crossings = Mutex::new(0u64);
+
+    std::thread::scope(|scope| {
+        for (tid, (base, chunk)) in chunks.into_iter().enumerate() {
+            let barrier = &barrier;
+            let slots = &slots;
+            let crossings = &crossings;
+            scope.spawn(move || {
+                let mut outbox = Outbox::new();
+                let mut published = 0u64;
+                for k in 0..n_windows {
+                    let end = (width * (k + 1) as f64).min(horizon);
+                    // Phase 1: every LP in this chunk advances through
+                    // the window, tagging emissions with (src, idx).
+                    let mut outgoing: Vec<Tagged<L::Cross>> = Vec::new();
+                    for (j, lp) in chunk.iter_mut().enumerate() {
+                        lp.advance_window(end, &mut outbox);
+                        for (idx, (dst, msg)) in outbox.events.drain(..).enumerate() {
+                            debug_assert!((dst as usize) < n_lps, "outbox dst {dst} out of range");
+                            outgoing.push(Tagged {
+                                dst,
+                                src: (base + j) as u32,
+                                idx: idx as u32,
+                                msg,
+                            });
+                        }
+                    }
+                    published += outgoing.len() as u64;
+                    if !outgoing.is_empty() {
+                        slots[tid]
+                            .lock()
+                            .expect("outbox slot lock")
+                            .append(&mut outgoing);
+                    }
+                    barrier.wait();
+                    // Phase 2: claim the messages addressed to this
+                    // chunk and apply them in (dst, src, idx) order —
+                    // a key no thread schedule can perturb.
+                    let lo = base as u32;
+                    let hi = (base + chunk.len()) as u32;
+                    let mut incoming: Vec<Tagged<L::Cross>> = Vec::new();
+                    for slot in slots.iter() {
+                        let mut guard = slot.lock().expect("outbox slot lock");
+                        let mut i = 0;
+                        while i < guard.len() {
+                            if (lo..hi).contains(&guard[i].dst) {
+                                incoming.push(guard.swap_remove(i));
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    }
+                    incoming.sort_by_key(|t| (t.dst, t.src, t.idx));
+                    for t in incoming {
+                        chunk[t.dst as usize - base].accept(t.msg);
+                    }
+                    // Phase 3: nobody republishes into a slot another
+                    // thread may still be scanning.
+                    barrier.wait();
+                }
+                *crossings.lock().expect("crossing counter") += published;
+            });
+        }
+    });
+
+    WindowReport {
+        windows: n_windows,
+        cross_messages: crossings.into_inner().expect("crossing counter"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::CalendarQueue;
+
+    /// Toy LP: a node on a ring that bounces tokens onward with a
+    /// fixed per-hop delay and records every arrival it sees.
+    struct RingNode {
+        id: u32,
+        n: u32,
+        hop_delay: f64,
+        queue: CalendarQueue<u64>,
+        seq: u64,
+        log: Vec<(u64, f64, u64)>, // (token, time, local order)
+    }
+
+    impl RingNode {
+        fn new(id: u32, n: u32, hop_delay: f64) -> Self {
+            RingNode {
+                id,
+                n,
+                hop_delay,
+                queue: CalendarQueue::new(),
+                seq: 0,
+                log: Vec::new(),
+            }
+        }
+
+        fn push(&mut self, time: f64, token: u64) {
+            let seq = self.seq;
+            self.seq += 1;
+            self.queue.push(time, seq, token);
+        }
+    }
+
+    impl LogicalProcess for RingNode {
+        type Cross = (f64, u64);
+
+        fn advance_window(&mut self, window_end: f64, out: &mut Outbox<(f64, u64)>) {
+            while let Some((t, _seq, token)) = self.queue.pop_at_or_before(window_end) {
+                let order = self.log.len() as u64;
+                self.log.push((token, t, order));
+                out.send((self.id + 1) % self.n, (t + self.hop_delay, token));
+            }
+        }
+
+        fn accept(&mut self, (t, token): (f64, u64)) {
+            self.push(t, token);
+        }
+    }
+
+    fn run_ring(n: u32, tokens: u64, threads: usize) -> Vec<Vec<(u64, f64, u64)>> {
+        let hop = 1e-3;
+        let mut lps: Vec<RingNode> = (0..n).map(|i| RingNode::new(i, n, hop)).collect();
+        for tok in 0..tokens {
+            // Stagger starts so several tokens circulate at once.
+            lps[(tok % n as u64) as usize].push(tok as f64 * 1e-4, tok);
+        }
+        let report = run_windows(&mut lps, hop, 50e-3, threads);
+        assert!(report.windows >= 1);
+        assert!(report.cross_messages > 0);
+        lps.into_iter().map(|lp| lp.log).collect()
+    }
+
+    #[test]
+    fn ring_is_thread_count_invariant() {
+        let oracle = run_ring(8, 5, 1);
+        for threads in [2, 3, 4, 8] {
+            assert_eq!(run_ring(8, 5, threads), oracle, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn ring_conserves_and_orders_tokens() {
+        let logs = run_ring(4, 2, 2);
+        let total: usize = logs.iter().map(Vec::len).sum();
+        // Each token takes one hop per ms over 50 ms.
+        assert!(total >= 90, "expected ~100 arrivals, got {total}");
+        for log in &logs {
+            for pair in log.windows(2) {
+                assert!(pair[0].1 <= pair[1].1, "arrivals out of time order");
+            }
+        }
+    }
+
+    #[test]
+    fn same_time_messages_merge_by_source_id() {
+        // Every node fires one message at the *same* timestamp into
+        // node 0; the accept order at node 0 must be by source id
+        // regardless of thread count.
+        struct Sink {
+            id: u32,
+            queue: CalendarQueue<u32>,
+            seq: u64,
+            fired: bool,
+            seen: Vec<u32>,
+        }
+        impl LogicalProcess for Sink {
+            type Cross = (f64, u32);
+            fn advance_window(&mut self, end: f64, out: &mut Outbox<(f64, u32)>) {
+                if !self.fired && end >= 0.0 {
+                    self.fired = true;
+                    if self.id != 0 {
+                        out.send(0, (5e-3, self.id));
+                    }
+                }
+                while let Some((_t, _s, src)) = self.queue.pop_at_or_before(end) {
+                    self.seen.push(src);
+                }
+            }
+            fn accept(&mut self, (t, src): (f64, u32)) {
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(t, seq, src);
+            }
+        }
+        for threads in [1, 2, 5] {
+            let mut lps: Vec<Sink> = (0..5)
+                .map(|id| Sink {
+                    id,
+                    queue: CalendarQueue::new(),
+                    seq: 0,
+                    fired: false,
+                    seen: Vec::new(),
+                })
+                .collect();
+            run_windows(&mut lps, 2e-3, 10e-3, threads);
+            assert_eq!(lps[0].seen, vec![1, 2, 3, 4], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_degenerate_inputs() {
+        let mut none: Vec<RingNode> = Vec::new();
+        let r = run_windows(&mut none, 1.0, 1.0, 4);
+        assert_eq!(r.windows, 0);
+        // Horizon 0 still runs one window so t = 0 events fire.
+        let mut one = vec![RingNode::new(0, 1, 1.0)];
+        one[0].push(0.0, 9);
+        let r = run_windows(&mut one, 1.0, 0.0, 3);
+        assert_eq!(r.windows, 1);
+        assert_eq!(one[0].log.len(), 1);
+    }
+}

@@ -1,8 +1,8 @@
 //! `topo` — run network-of-routers sweeps from the command line.
 //!
 //! ```text
-//! topo [--spec NAME] [--quick] [--workers N] [--seed S]
-//!      [--out PATH | --no-out] [--csv] [--dry-run]
+//! topo [--spec NAME] [--quick] [--workers N] [--sim-threads N]
+//!      [--seed S] [--out PATH | --no-out] [--csv] [--dry-run]
 //! topo --list
 //! topo --check PATH
 //! ```
@@ -21,6 +21,7 @@ struct Cli {
     spec: String,
     quick: bool,
     workers: Option<usize>,
+    sim_threads: Option<usize>,
     seed: Option<u64>,
     out: Option<PathBuf>,
     no_out: bool,
@@ -32,14 +33,18 @@ struct Cli {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: topo [--spec NAME] [--quick] [--workers N] [--seed S]\n\
-         \x20           [--out PATH | --no-out] [--csv] [--dry-run]\n\
+        "usage: topo [--spec NAME] [--quick] [--workers N] [--sim-threads N]\n\
+         \x20           [--seed S] [--out PATH | --no-out] [--csv] [--dry-run]\n\
          \x20      topo --list\n\
          \x20      topo --check PATH\n\
          \n\
          Runs a named topo sweep (default: resilience) and writes a\n\
          dra-topo/v1 JSON artifact to results/topo_<spec>.json.\n\
          \n\
+         --sim-threads  threads per network simulation (default 1 = the\n\
+         \x20            serial kernel; N > 1 runs the conservative\n\
+         \x20            parallel engine; artifacts are byte-identical\n\
+         \x20            at every value)\n\
          --dry-run   print the expanded grid (cells, axes, totals)\n\
          \x20         and exit without simulating\n\
          --check     validate an existing artifact (format, ordering,\n\
@@ -53,6 +58,7 @@ fn parse_cli() -> Cli {
         spec: "resilience".into(),
         quick: false,
         workers: None,
+        sim_threads: None,
         seed: None,
         out: None,
         no_out: false,
@@ -74,6 +80,9 @@ fn parse_cli() -> Cli {
             "--quick" => cli.quick = true,
             "--workers" => {
                 cli.workers = Some(value("--workers").parse().unwrap_or_else(|_| usage()))
+            }
+            "--sim-threads" => {
+                cli.sim_threads = Some(value("--sim-threads").parse().unwrap_or_else(|_| usage()))
             }
             "--seed" => cli.seed = Some(value("--seed").parse().unwrap_or_else(|_| usage())),
             "--out" => cli.out = Some(PathBuf::from(value("--out"))),
@@ -231,6 +240,7 @@ fn main() -> ExitCode {
     };
     let opts = TopoRunOptions {
         workers: cli.workers,
+        sim_threads: cli.sim_threads,
         out,
         quiet: false,
     };

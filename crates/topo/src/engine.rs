@@ -41,6 +41,10 @@ const FLOW_TAG: u64 = 0xF10D_0000_0000_0001;
 pub struct TopoRunOptions {
     /// Worker threads (None = one per CPU).
     pub workers: Option<usize>,
+    /// Threads for each cell's network simulation (None = 1, the
+    /// serial kernel). Any value produces byte-identical artifacts;
+    /// N > 1 runs [`crate::pdes`] inside each worker.
+    pub sim_threads: Option<usize>,
     /// Artifact path (None = don't write, return text only).
     pub out: Option<PathBuf>,
     /// Suppress progress output.
@@ -77,24 +81,30 @@ pub fn run(spec: &TopoSpec, opts: &TopoRunOptions) -> std::io::Result<TopoOutcom
         );
     }
     let indices: Vec<usize> = (0..spec.cells.len()).collect();
-    let results = pool.try_map(indices, {
+    let sim_threads = opts.sim_threads.unwrap_or(1);
+    let results = pool.try_map(indices.clone(), {
         let spec = spec.clone();
-        move |i: &usize| (*i, run_cell(&spec, *i))
+        move |i: &usize| (*i, run_cell(&spec, *i, sim_threads))
     });
     let mut done: BTreeMap<u64, Json> = BTreeMap::new();
     let mut failed = 0;
-    for (slot, res) in results.into_iter().enumerate() {
+    for res in results {
         match res {
             Ok((i, cell)) => {
                 done.insert(i as u64, cell);
             }
             Err(p) => {
+                // Key the error by the *cell index* the panicked item
+                // carried — not by the slot it occupies in the result
+                // vector, which only coincides with the cell index
+                // while the submitted work list is the identity.
                 failed += 1;
+                let cell_index = indices[p.index];
                 done.insert(
-                    slot as u64,
+                    cell_index as u64,
                     Json::obj(vec![
-                        ("cell", Json::Num(slot as f64)),
-                        ("id", Json::Str(spec.cells[slot].id.clone())),
+                        ("cell", Json::Num(cell_index as f64)),
+                        ("id", Json::Str(spec.cells[cell_index].id.clone())),
                         ("error", Json::Str(p.message)),
                     ]),
                 );
@@ -232,7 +242,7 @@ pub fn build_network(cell: &TopoCellSpec, master_seed: u64, replication: u32) ->
 }
 
 /// Run every replication of one cell and reduce to its JSON record.
-fn run_cell(spec: &TopoSpec, index: usize) -> Json {
+fn run_cell(spec: &TopoSpec, index: usize, sim_threads: usize) -> Json {
     let cell = &spec.cells[index];
     let mut injected = 0u64;
     let mut delivered = 0u64;
@@ -244,7 +254,8 @@ fn run_cell(spec: &TopoSpec, index: usize) -> Json {
     let mut hops = Welford::new();
     let (mut n_nodes, mut n_links) = (0, 0);
     for rep in 0..cell.replications {
-        let net = build_network(cell, spec.master_seed, rep);
+        let mut net = build_network(cell, spec.master_seed, rep);
+        net.cfg.sim_threads = sim_threads;
         n_nodes = net.topo.n_nodes();
         n_links = net.topo.n_links();
         let sim_seed = derive_seed(
@@ -253,9 +264,8 @@ fn run_cell(spec: &TopoSpec, index: usize) -> Json {
             rep as u64,
             Stream::Simulation,
         );
-        let mut sim = net.simulation(sim_seed);
-        sim.run_until(cell.horizon_s);
-        let s = &sim.model().stats;
+        let net = net.run(sim_seed, cell.horizon_s);
+        let s = &net.stats;
         assert!(s.conserved(), "{}: packet conservation violated", cell.id);
         injected += s.injected;
         delivered += s.delivered;
@@ -452,6 +462,7 @@ mod tests {
                 &spec,
                 &TopoRunOptions {
                     workers: Some(w),
+                    sim_threads: None,
                     out: None,
                     quiet: true,
                 },
@@ -473,6 +484,7 @@ mod tests {
             &spec,
             &TopoRunOptions {
                 workers: Some(1),
+                sim_threads: None,
                 out: None,
                 quiet: true,
             },
@@ -496,6 +508,71 @@ mod tests {
             "DRA ({}) must beat BDR ({}) under router degradation",
             ratio(&cells[1]),
             ratio(&cells[0])
+        );
+    }
+
+    #[test]
+    fn panicked_cells_are_keyed_by_cell_index() {
+        let mut spec = tiny_spec();
+        // Passes spec validation but panics during topology build:
+        // the mesh generator rejects single-row grids.
+        spec.cells[0].topology = TopologyKind::Mesh2D { rows: 1, cols: 9 };
+        for workers in [1, 4] {
+            let out = run(
+                &spec,
+                &TopoRunOptions {
+                    workers: Some(workers),
+                    sim_threads: None,
+                    out: None,
+                    quiet: true,
+                },
+            )
+            .unwrap();
+            assert_eq!(out.failed, 1, "workers = {workers}");
+            let doc = parse(&out.artifact_text).unwrap();
+            let cells = doc.get("cells").and_then(Json::as_arr).unwrap();
+            let bad = &cells[0];
+            assert_eq!(bad.get("cell").and_then(Json::as_u64), Some(0));
+            assert_eq!(bad.get("id").and_then(Json::as_str), Some("bdr/mesh/r2"));
+            assert!(
+                bad.get("error")
+                    .and_then(Json::as_str)
+                    .unwrap()
+                    .contains("mesh needs rows"),
+                "error cell must carry the panic message"
+            );
+            assert!(cells[1].get("error").is_none(), "healthy cell untouched");
+            let (n, errors) = validate_artifact(&out.artifact_text).unwrap();
+            assert_eq!((n, errors), (2, 1));
+        }
+    }
+
+    #[test]
+    fn artifact_is_sim_thread_invariant() {
+        let spec = tiny_spec();
+        let run_with = |t| {
+            run(
+                &spec,
+                &TopoRunOptions {
+                    workers: Some(2),
+                    sim_threads: Some(t),
+                    out: None,
+                    quiet: true,
+                },
+            )
+            .unwrap()
+            .artifact_text
+        };
+        let serial = run_with(1);
+        assert_eq!(
+            serial,
+            run_with(2),
+            "artifact must be byte-identical at --sim-threads 2"
+        );
+        assert_eq!(
+            serial,
+            run_with(4),
+            "artifact must be byte-identical at --sim-threads 4"
         );
     }
 

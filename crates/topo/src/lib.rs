@@ -16,6 +16,10 @@
 //!   [`RouterHandle`](dra_core::handle::RouterHandle)-wrapped BDR/DRA
 //!   routers advanced lazily on one shared DES clock, multi-hop flows,
 //!   per-node fault timelines, and composed drop accounting.
+//! * [`pdes`] — conservative parallel execution of the same model:
+//!   per-router logical processes on barrier windows (lookahead = link
+//!   latency), byte-identical to the serial engine at any thread
+//!   count (`NetConfig::sim_threads`).
 //! * [`stats`] — network metrics: packet conservation, end-to-end
 //!   delivery ratio, per-flow availability.
 //! * [`seeds`] — the per-node SplitMix64 seed coordinate keeping N
@@ -32,6 +36,7 @@
 pub mod engine;
 pub mod link;
 pub mod net;
+pub mod pdes;
 pub mod registry;
 pub mod routes;
 pub mod seeds;

@@ -63,6 +63,18 @@ pub enum LinkOffer {
 }
 
 impl LinkState {
+    /// Set the up/down state. A down → up transition clears
+    /// `busy_until`: the serialization queue that was pending when the
+    /// cable was cut died with the cut, so a repaired link starts with
+    /// an idle wire rather than delaying (or tail-dropping) its first
+    /// packets against a stale pre-cut backlog.
+    pub fn set_up(&mut self, up: bool) {
+        if up && !self.up {
+            self.busy_until = 0.0;
+        }
+        self.up = up;
+    }
+
     /// Offer `bytes` to this direction at `now` under `cfg`.
     pub fn offer(&mut self, cfg: &LinkConfig, now: f64, bytes: u32) -> LinkOffer {
         if !self.up {
@@ -102,5 +114,36 @@ mod tests {
         assert!(matches!(l.offer(&cfg, 10e-6, 1000), LinkOffer::Sent { .. }));
         l.up = false;
         assert_eq!(l.offer(&cfg, 20e-6, 1000), LinkOffer::Down);
+    }
+
+    #[test]
+    fn repair_clears_precut_backlog() {
+        let cfg = LinkConfig {
+            latency_s: 1e-6,
+            bandwidth_bps: 8e9, // 1 ns per byte
+            max_backlog_s: 2e-6,
+        };
+        let mut l = LinkState::default();
+        // Two 1000 B packets at t = 0 queue 2 µs of backlog
+        // (busy_until = 2 µs), then the cable is cut while busy.
+        assert!(matches!(l.offer(&cfg, 0.0, 1000), LinkOffer::Sent { .. }));
+        assert!(matches!(l.offer(&cfg, 0.0, 1000), LinkOffer::Sent { .. }));
+        assert_eq!(l.busy_until, 2e-6);
+        l.set_up(false);
+        assert_eq!(l.offer(&cfg, 0.5e-6, 1000), LinkOffer::Down);
+        // Repair at t = 1 µs, still before the pre-cut queue would
+        // have drained. The first post-repair packet must see an idle
+        // wire: serialization (1 µs) + propagation (1 µs) only, not
+        // the stale 1 µs of dead backlog on top.
+        l.set_up(true);
+        assert_eq!(l.busy_until, 0.0, "repair must clear the dead queue");
+        assert_eq!(l.offer(&cfg, 1e-6, 1000), LinkOffer::Sent { delay_s: 2e-6 });
+        // Down → down and up → up transitions leave the queue alone.
+        let drained = l.busy_until;
+        l.set_up(true);
+        assert_eq!(l.busy_until, drained);
+        l.set_up(false);
+        l.set_up(false);
+        assert_eq!(l.busy_until, drained);
     }
 }

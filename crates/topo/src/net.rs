@@ -68,6 +68,12 @@ pub struct NetConfig {
     /// Flow injection stops at this time (the remainder of the
     /// horizon drains the network).
     pub traffic_stop_s: f64,
+    /// Threads for [`NetworkSim::run`]: 1 (the default) runs the
+    /// serial kernel — the oracle — while N > 1 runs the conservative
+    /// parallel engine ([`crate::pdes`]) with per-router logical
+    /// processes. The artifact contract: every value produces the same
+    /// bytes.
+    pub sim_threads: usize,
 }
 
 impl Default for NetConfig {
@@ -80,6 +86,7 @@ impl Default for NetConfig {
             ttl: 32,
             packet_bytes: 700,
             traffic_stop_s: f64::MAX,
+            sim_threads: 1,
         }
     }
 }
@@ -219,26 +226,29 @@ pub enum NetEvent {
 }
 
 /// The co-simulated network.
+///
+/// Interior fields are `pub(crate)` so [`crate::pdes`] can decompose a
+/// built network into per-router logical processes and reassemble it.
 pub struct NetworkSim {
     /// The graph.
     pub topo: Topology,
     /// Per-node topology-derived FIBs.
-    fibs: Vec<Dir248Fib>,
+    pub(crate) fibs: Vec<Dir248Fib>,
     /// Per-node router handles.
-    nodes: Vec<RouterHandle>,
+    pub(crate) nodes: Vec<RouterHandle>,
     /// `links[n][p]`: the directed link out of node `n` port `p`.
-    links: Vec<Vec<LinkState>>,
+    pub(crate) links: Vec<Vec<LinkState>>,
     /// Per-node EIB coverage budget (fluid queue drain time).
-    covered_busy: Vec<f64>,
+    pub(crate) covered_busy: Vec<f64>,
     /// Flows.
-    flows: Vec<Flow>,
+    pub(crate) flows: Vec<Flow>,
     /// Ordered network fault timeline.
-    scenario: Vec<(f64, NetAction)>,
+    pub(crate) scenario: Vec<(f64, NetAction)>,
     /// Model parameters.
     pub cfg: NetConfig,
     /// Composed metrics.
     pub stats: NetStats,
-    next_pkt_id: u64,
+    pub(crate) next_pkt_id: u64,
 }
 
 impl NetworkSim {
@@ -325,6 +335,20 @@ impl NetworkSim {
         sim
     }
 
+    /// Run the network to `horizon`, honoring
+    /// [`NetConfig::sim_threads`]: 1 drives the serial DES kernel,
+    /// N > 1 the conservative parallel engine. Both produce the same
+    /// final state bytes (the CI `topo-smoke` job pins 1 vs 2 vs 4).
+    pub fn run(self, seed: u64, horizon: f64) -> NetworkSim {
+        if self.cfg.sim_threads > 1 {
+            crate::pdes::run_parallel(self, seed, horizon)
+        } else {
+            let mut sim = self.simulation(seed);
+            sim.run_until(horizon);
+            sim.into_model()
+        }
+    }
+
     fn port_between(&self, a: u32, b: u32) -> u16 {
         self.topo.adj[a as usize]
             .binary_search(&b)
@@ -356,14 +380,14 @@ impl NetworkSim {
             NetAction::FailLink { a, b } => {
                 let pab = self.port_between(a, b) as usize;
                 let pba = self.port_between(b, a) as usize;
-                self.links[a as usize][pab].up = false;
-                self.links[b as usize][pba].up = false;
+                self.links[a as usize][pab].set_up(false);
+                self.links[b as usize][pba].set_up(false);
             }
             NetAction::RepairLink { a, b } => {
                 let pab = self.port_between(a, b) as usize;
                 let pba = self.port_between(b, a) as usize;
-                self.links[a as usize][pab].up = true;
-                self.links[b as usize][pba].up = true;
+                self.links[a as usize][pab].set_up(true);
+                self.links[b as usize][pba].set_up(true);
             }
         }
     }
@@ -377,50 +401,106 @@ impl NetworkSim {
         in_port: u16,
         ctx: &mut Ctx<'_, NetEvent>,
     ) {
-        let now = ctx.now();
-        pkt.hops = pkt.hops.saturating_add(1);
-        let h = &mut self.nodes[node as usize];
-        h.advance_to(now);
-        if !h.lc_serviceable(in_port) {
-            return self.stats.drop_packet(NetDropCause::IngressDown);
-        }
-        let Some(out_port) = self.fibs[node as usize].lookup(node_addr(pkt.dst, pkt.id)) else {
-            return self.stats.drop_packet(NetDropCause::NoRoute);
-        };
-        let h = &self.nodes[node as usize];
-        if !h.lc_serviceable(out_port) {
-            return self.stats.drop_packet(NetDropCause::EgressDown);
-        }
-        if !h.fabric_operational() {
-            return self.stats.drop_packet(NetDropCause::FabricDown);
-        }
-        let mut delay = self.cfg.node_transit_s;
-        if h.lc_covered(in_port) || h.lc_covered(out_port) {
-            // Covered transit detours over the EIB: serialize against
-            // the node's promised-bandwidth budget.
-            let start = self.covered_busy[node as usize].max(now);
-            let finish = start + self.cfg.packet_bytes as f64 * 8.0 / self.cfg.coverage_bps;
-            if finish - now > self.cfg.coverage_backlog_s {
-                return self.stats.drop_packet(NetDropCause::CoverageSaturated);
-            }
-            self.covered_busy[node as usize] = finish;
-            delay += finish - now;
-        }
-        if node == pkt.dst {
-            ctx.schedule(delay, NetEvent::Deliver { pkt });
-        } else {
-            if pkt.ttl == 0 {
-                return self.stats.drop_packet(NetDropCause::TtlExceeded);
-            }
-            pkt.ttl -= 1;
-            ctx.schedule(
-                delay,
+        let outcome = hop(
+            node,
+            &mut self.nodes[node as usize],
+            &self.fibs[node as usize],
+            &mut self.covered_busy[node as usize],
+            &self.cfg,
+            ctx.now(),
+            &mut pkt,
+            in_port,
+        );
+        match outcome {
+            HopOutcome::Drop(cause) => self.stats.drop_packet(cause),
+            HopOutcome::Deliver { delay_s } => ctx.schedule(delay_s, NetEvent::Deliver { pkt }),
+            HopOutcome::Forward { delay_s, out_port } => ctx.schedule(
+                delay_s,
                 NetEvent::Forward {
                     pkt,
                     node,
                     out_port,
                 },
-            );
+            ),
+        }
+    }
+}
+
+/// Outcome of one router transit, computed by [`hop`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum HopOutcome {
+    /// The packet dies at this hop.
+    Drop(NetDropCause),
+    /// This node is the destination; the host port sees it `delay_s`
+    /// from now.
+    Deliver {
+        /// Transit (+ coverage) delay.
+        delay_s: f64,
+    },
+    /// Forward out of `out_port` after `delay_s`.
+    Forward {
+        /// Transit (+ coverage) delay.
+        delay_s: f64,
+        /// Egress port toward the next hop.
+        out_port: u16,
+    },
+}
+
+/// The per-hop core shared verbatim by the serial model and the
+/// parallel per-router logical processes: advance the router to `now`,
+/// run health checks and the FIB lookup, charge the EIB coverage
+/// budget, and decide the packet's fate. Mutates `pkt` (hop count,
+/// TTL) and the router/coverage state exactly as the serial path
+/// always has — the operation *order* here is load-bearing for
+/// byte-identical artifacts (e.g. the coverage budget is consumed
+/// before the TTL check).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hop(
+    node: u32,
+    router: &mut RouterHandle,
+    fib: &Dir248Fib,
+    covered_busy: &mut f64,
+    cfg: &NetConfig,
+    now: f64,
+    pkt: &mut NetPacket,
+    in_port: u16,
+) -> HopOutcome {
+    pkt.hops = pkt.hops.saturating_add(1);
+    router.advance_to(now);
+    if !router.lc_serviceable(in_port) {
+        return HopOutcome::Drop(NetDropCause::IngressDown);
+    }
+    let Some(out_port) = fib.lookup(node_addr(pkt.dst, pkt.id)) else {
+        return HopOutcome::Drop(NetDropCause::NoRoute);
+    };
+    if !router.lc_serviceable(out_port) {
+        return HopOutcome::Drop(NetDropCause::EgressDown);
+    }
+    if !router.fabric_operational() {
+        return HopOutcome::Drop(NetDropCause::FabricDown);
+    }
+    let mut delay = cfg.node_transit_s;
+    if router.lc_covered(in_port) || router.lc_covered(out_port) {
+        // Covered transit detours over the EIB: serialize against
+        // the node's promised-bandwidth budget.
+        let start = covered_busy.max(now);
+        let finish = start + cfg.packet_bytes as f64 * 8.0 / cfg.coverage_bps;
+        if finish - now > cfg.coverage_backlog_s {
+            return HopOutcome::Drop(NetDropCause::CoverageSaturated);
+        }
+        *covered_busy = finish;
+        delay += finish - now;
+    }
+    if node == pkt.dst {
+        HopOutcome::Deliver { delay_s: delay }
+    } else {
+        if pkt.ttl == 0 {
+            return HopOutcome::Drop(NetDropCause::TtlExceeded);
+        }
+        pkt.ttl -= 1;
+        HopOutcome::Forward {
+            delay_s: delay,
+            out_port,
         }
     }
 }

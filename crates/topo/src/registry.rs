@@ -6,13 +6,14 @@ use crate::topology::TopologyKind;
 use dra_core::handle::ArchKind;
 
 /// Names `spec_by_name` accepts.
-pub const NAMES: [&str; 2] = ["resilience", "smoke"];
+pub const NAMES: [&str; 3] = ["resilience", "smoke", "scale"];
 
 /// Look up a named sweep (`quick` shrinks it for CI smoke runs).
 pub fn spec_by_name(name: &str, quick: bool) -> Option<TopoSpec> {
     match name {
         "resilience" => Some(resilience(quick)),
         "smoke" => Some(smoke()),
+        "scale" => Some(scale(quick)),
         _ => None,
     }
 }
@@ -115,6 +116,42 @@ pub fn smoke() -> TopoSpec {
     s
 }
 
+/// The parallel-engine scaling sweep: the composed-reliability
+/// question at N = 64, 128, and 256 routers — the sizes where serial
+/// event processing becomes the bottleneck and `--sim-threads` earns
+/// its keep. Healthy and 4-degraded twins per topology; byte-identical
+/// at every thread count (CI pins 1 vs 2 vs 4 on the quick variant).
+pub fn scale(quick: bool) -> TopoSpec {
+    let topologies: &[TopologyKind] = if quick {
+        &[TopologyKind::Mesh2D { rows: 8, cols: 8 }]
+    } else {
+        &[
+            TopologyKind::Mesh2D { rows: 8, cols: 8 },
+            TopologyKind::BarabasiAlbert {
+                n: 128,
+                m: 2,
+                seed: 11,
+            },
+            TopologyKind::Mesh2D { rows: 16, cols: 16 },
+        ]
+    };
+    let ks: &[u32] = if quick { &[0] } else { &[0, 4] };
+    let flows = FlowSpec {
+        n_flows: if quick { 16 } else { 48 },
+        rate_pps: 40_000.0,
+        packet_bytes: 700,
+    };
+    grid(
+        if quick { "scale-quick" } else { "scale" },
+        "composed reliability at N = 64-256 routers (parallel-engine workload)",
+        topologies,
+        ks,
+        flows,
+        if quick { 5e-3 } else { 10e-3 },
+        1,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +172,15 @@ mod tests {
             }
         }
         assert!(spec_by_name("nope", false).is_none());
+    }
+
+    #[test]
+    fn scale_covers_the_target_sizes() {
+        let spec = scale(false);
+        let labels: Vec<String> = spec.cells.iter().map(|c| c.topology.label()).collect();
+        for want in ["mesh-8x8", "ba-n128-m2", "mesh-16x16"] {
+            assert!(labels.iter().any(|l| l == want), "missing {want}");
+        }
     }
 
     #[test]

@@ -11,24 +11,25 @@ use dra_des::stats::Welford;
 ///
 /// [`DropCause`]: dra_router::metrics::DropCause
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
 pub enum NetDropCause {
     /// The linecard the packet arrived on cannot serve it.
-    IngressDown,
+    IngressDown = 0,
     /// The linecard toward the next hop cannot serve it.
-    EgressDown,
+    EgressDown = 1,
     /// The transit router's switching fabric has too few planes.
-    FabricDown,
+    FabricDown = 2,
     /// The transit router's FIB had no route for the destination.
-    NoRoute,
+    NoRoute = 3,
     /// The selected outgoing link is down.
-    LinkDown,
+    LinkDown = 4,
     /// The selected outgoing link's serialization backlog overflowed.
-    LinkCongested,
+    LinkCongested = 5,
     /// A DRA coverage detour existed but the EIB's promised bandwidth
     /// was oversubscribed at this node.
-    CoverageSaturated,
+    CoverageSaturated = 6,
     /// Hop budget exhausted (defensive; min-hop routes are loop-free).
-    TtlExceeded,
+    TtlExceeded = 7,
 }
 
 impl NetDropCause {
@@ -44,9 +45,13 @@ impl NetDropCause {
         NetDropCause::TtlExceeded,
     ];
 
-    /// Stable dense index.
+    /// Stable dense index. Constant-time: the explicit discriminants
+    /// *are* the `ALL` positions (pinned by
+    /// `cause_names_and_indices_are_stable`) — this runs on every
+    /// dropped packet, so no linear scan.
+    #[inline]
     pub fn index(self) -> usize {
-        Self::ALL.iter().position(|&c| c == self).expect("in ALL")
+        self as usize
     }
 
     /// Stable snake_case name (artifact keys).
@@ -191,5 +196,64 @@ mod tests {
         s.deliver(1, 2e-4, 4);
         assert!(s.conserved());
         assert_eq!(s.in_flight, 0);
+    }
+
+    #[test]
+    fn flow_availability_threshold_edges() {
+        let mut s = NetStats::new(3);
+        s.inject(0); // flow 0: 1 injected, 0 delivered
+        s.inject(1);
+        s.inject(1);
+        s.deliver(1, 1e-4, 2); // flow 1: 2 injected, 1 delivered
+        s.drop_packet(NetDropCause::NoRoute);
+        s.drop_packet(NetDropCause::NoRoute);
+        // flow 2: injected nothing — always counts as available.
+        // Threshold 0.0: `del >= 0` holds for every flow, even flow 0
+        // with zero deliveries.
+        assert_eq!(s.flow_availability(0.0), 1.0);
+        // Threshold 1.0: only fully-delivered (or idle) flows count.
+        // Flow 0 (0 of 1) and flow 1 (1 of 2) both miss; flow 2 idles.
+        assert_eq!(s.flow_availability(1.0), 1.0 / 3.0);
+        s.inject(1);
+        s.deliver(1, 1e-4, 2);
+        // Flow 1 is now 2 of 3 — still short of 1.0 but over 0.5.
+        assert_eq!(s.flow_availability(1.0), 1.0 / 3.0);
+        assert_eq!(s.flow_availability(0.5), 2.0 / 3.0);
+        // No flows at all: vacuously available.
+        assert_eq!(NetStats::new(0).flow_availability(1.0), 1.0);
+    }
+
+    #[test]
+    fn merged_partial_stats_stay_conserved() {
+        // The parallel engine reassembles one NetStats from per-LP
+        // partials: integer counters sum, in_flight is recomputed as
+        // injected − delivered − dropped. A merge mimicking an
+        // error-cell aggregation (one partial contributed only drops)
+        // must still satisfy the conservation ledger.
+        let mut total = NetStats::new(2);
+        let mut a = NetStats::new(2);
+        a.inject(0);
+        a.inject(0);
+        a.deliver(0, 1e-4, 3);
+        let mut b = NetStats::new(2);
+        b.inject(1);
+        b.drop_packet(NetDropCause::LinkDown);
+        for part in [&a, &b] {
+            total.injected += part.injected;
+            total.delivered += part.delivered;
+            for (acc, d) in total.drops.iter_mut().zip(part.drops) {
+                *acc += d;
+            }
+            for (acc, v) in total.flow_injected.iter_mut().zip(&part.flow_injected) {
+                *acc += v;
+            }
+            for (acc, v) in total.flow_delivered.iter_mut().zip(&part.flow_delivered) {
+                *acc += v;
+            }
+        }
+        total.in_flight = total.injected - total.delivered - total.dropped_total();
+        assert!(total.conserved());
+        assert_eq!(total.in_flight, 1);
+        assert_eq!(total.dropped_total(), 1);
     }
 }
