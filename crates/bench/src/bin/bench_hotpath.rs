@@ -33,6 +33,12 @@
 //!   networks: delivered packets/second at `sim_threads` 1 and 4 with
 //!   a bit-identity assertion between the two, plus the speedup ratio
 //!   (meaningful only on multi-core hosts);
+//! * **rareevent** — wall-clock cost of reaching a target relative
+//!   confidence interval on the steady-state unavailability at the
+//!   paper's **real** (uninflated) failure rates, for the
+//!   [`dra_core::rareevent`] estimators versus a brute-force projection
+//!   `N = (1.96/δ)² (1−γ̂)/γ̂` cycles at the measured per-cycle cost —
+//!   the headline speedup CI enforces;
 //! * **end-to-end** — wall-clock events/second and delivered
 //!   cells/second for one BDR + DRA faceoff cell (same seed, same
 //!   scripted SRU failure — the campaign grid's unit of work).
@@ -703,6 +709,136 @@ fn bench_pdes(quick: bool) -> Json {
     Json::Arr(entries)
 }
 
+// ---------------------------------------------------------------- rareevent
+
+/// Wall-clock-to-target-relative-CI for the rare-event estimators at
+/// the paper's real rates.
+///
+/// Brute-force Monte Carlo cannot produce a live CI here in bench time
+/// (a down event occurs once in ~10⁵ cycles), so its row is a
+/// *projection*: measure the per-cycle wall cost over a calibration
+/// run, take the cycle count a relative CI of `δ` needs —
+/// `N = (1.96/δ)² (1−γ̂)/γ̂`, with `γ̂` the per-cycle down probability
+/// estimated by the failure-biasing run — and multiply. The
+/// accelerated rows are *measured*: cycles double until the achieved
+/// relative CI meets the method's target (0.10 for likelihood-ratio
+/// biasing, 0.25 for splitting — splitting's variance reduction is
+/// real but modest here, since the rarity is one fast λ/μ race rather
+/// than a long chain of levels; the artifact reports that honestly).
+/// Each row's `speedup` compares the projected brute wall-clock *at
+/// the row's achieved CI* against the row's measured wall-clock.
+fn bench_rareevent(quick: bool) -> Json {
+    use dra_core::rareevent::{estimate, RareConfig, RareMethod};
+    use dra_router::components::FailureRates;
+
+    let configs: &[(usize, usize)] = if quick { &[(3, 2)] } else { &[(3, 2), (9, 4)] };
+    let mut entries = Vec::new();
+    for &(n, m) in configs {
+        let base = RareConfig {
+            n,
+            m,
+            rates: FailureRates::PAPER,
+            mu: 1.0 / 3.0,
+            cycles: 1,
+            seed: 0x0B0B_5EED,
+        };
+
+        // Calibration: brute-force per-cycle wall cost at these rates.
+        let brute_cycles = if quick { 50_000 } else { 400_000 };
+        let t0 = Instant::now();
+        let brute = estimate(
+            &RareConfig {
+                cycles: brute_cycles,
+                ..base
+            },
+            RareMethod::BruteForce,
+        );
+        let brute_wall = t0.elapsed().as_secs_f64().max(1e-9);
+        let cycle_cost = brute_wall / brute_cycles as f64;
+        assert!(brute.cycles == brute_cycles);
+
+        // Accelerated runs: double cycles until the target relative CI
+        // is met (cap keeps a pathological host bounded).
+        let mut gamma_hat = 0.0f64;
+        let mut rows = Vec::new();
+        for (method, target) in [
+            (RareMethod::FailureBiasing { bias: 0.5 }, 0.10),
+            (RareMethod::Splitting { clones: 100 }, 0.25),
+        ] {
+            let mut cycles = if quick { 5_000 } else { 20_000 };
+            let cap = 2_000_000usize;
+            let (est, wall) = loop {
+                let t0 = Instant::now();
+                let est = estimate(&RareConfig { cycles, ..base }, method);
+                let wall = t0.elapsed().as_secs_f64().max(1e-9);
+                if est.rel_ci() <= target || cycles >= cap {
+                    break (est, wall);
+                }
+                cycles *= 2;
+            };
+            assert!(
+                est.rel_ci().is_finite(),
+                "{} saw no down event at n{n}m{m}",
+                method.name()
+            );
+            if matches!(method, RareMethod::FailureBiasing { .. }) {
+                gamma_hat = est.gamma;
+            }
+            rows.push((method.name(), target, cycles, wall, est));
+        }
+        assert!(gamma_hat > 0.0, "failure biasing estimated zero gamma");
+
+        // Projected brute cycles/wall to reach relative CI `delta`.
+        let project = |delta: f64| {
+            let z = 1.96 / delta;
+            z * z * (1.0 - gamma_hat) / gamma_hat
+        };
+
+        // Brute row: measured calibration cost, projected to the
+        // likelihood-ratio target; speedup 1 by definition.
+        let brute_target = 0.10;
+        entries.push(Json::obj(vec![
+            ("config", Json::Str(format!("n{n}m{m}"))),
+            ("method", Json::Str("brute-force".into())),
+            ("target_rel_ci", Json::Num(brute_target)),
+            ("cycles", Json::Num(brute_cycles as f64)),
+            ("wall_s", Json::Num(brute_wall)),
+            ("cycles_per_sec", Json::Num(1.0 / cycle_cost)),
+            (
+                "projected_brute_cycles",
+                Json::Num(project(brute_target).ceil()),
+            ),
+            (
+                "projected_brute_s",
+                Json::Num(project(brute_target) * cycle_cost),
+            ),
+            ("speedup", Json::Num(1.0)),
+        ]));
+        for (name, target, cycles, wall, est) in rows {
+            let achieved = est.rel_ci();
+            let projected_s = project(achieved) * cycle_cost;
+            entries.push(Json::obj(vec![
+                ("config", Json::Str(format!("n{n}m{m}"))),
+                ("method", Json::Str(name.into())),
+                ("target_rel_ci", Json::Num(target)),
+                ("cycles", Json::Num(cycles as f64)),
+                ("wall_s", Json::Num(wall)),
+                ("rel_ci", Json::Num(achieved)),
+                ("unavailability", Json::Num(est.unavailability)),
+                ("ci95", Json::Num(est.ci_half)),
+                ("jumps", Json::Num(est.jumps as f64)),
+                (
+                    "projected_brute_cycles",
+                    Json::Num(project(achieved).ceil()),
+                ),
+                ("projected_brute_s", Json::Num(projected_s)),
+                ("speedup", Json::Num(projected_s / wall)),
+            ]));
+        }
+    }
+    Json::Arr(entries)
+}
+
 // --------------------------------------------------------------- end-to-end
 
 /// One faceoff cell: 8 cards at load 0.6, an SRU failure mid-run.
@@ -948,6 +1084,36 @@ fn check(artifact: &Json) -> Result<(), String> {
             ],
         )?;
     }
+    // Optional: artifacts predating the rare-event estimators lack
+    // this section. When present, the headline acceleration — the best
+    // measured-vs-projected-brute speedup at matched relative CI —
+    // must clear 100x, or the estimators have regressed into noise.
+    if let Some(re) = artifact.get("rareevent") {
+        check_section(
+            artifact,
+            "rareevent",
+            &[
+                "config",
+                "method",
+                "target_rel_ci",
+                "cycles",
+                "wall_s",
+                "projected_brute_s",
+                "speedup",
+            ],
+        )?;
+        let best = re
+            .as_arr()
+            .into_iter()
+            .flatten()
+            .filter_map(|e| e.get("speedup").and_then(Json::as_f64))
+            .fold(0.0f64, f64::max);
+        if best < 100.0 {
+            return Err(format!(
+                "rareevent headline speedup {best:.1}x below the 100x floor"
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -1027,6 +1193,8 @@ fn main() {
     let topo = bench_topo(quick);
     eprintln!("bench-hotpath: parallel network engine ...");
     let pdes = bench_pdes(quick);
+    eprintln!("bench-hotpath: rare-event estimators ...");
+    let rare = bench_rareevent(quick);
     eprintln!("bench-hotpath: end-to-end faceoff cell ...");
     #[cfg(feature = "telemetry")]
     if telemetry {
@@ -1052,6 +1220,7 @@ fn main() {
         ("ingress", ingress),
         ("topo", topo),
         ("pdes", pdes),
+        ("rareevent", rare),
         ("end_to_end", e2e),
     ]);
     #[cfg(feature = "telemetry")]

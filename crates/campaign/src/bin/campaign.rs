@@ -13,6 +13,7 @@
 //! the same spec resumes from the checkpoint; `--fresh` discards it.
 
 use dra_campaign::engine::{self, RunOptions};
+use dra_campaign::rareevent;
 use dra_campaign::registry;
 use dra_campaign::report::{artifact_table, print_csv, print_table};
 use std::path::PathBuf;
@@ -124,12 +125,87 @@ fn parse_cli() -> Cli {
     cli
 }
 
+/// Drive a rare-event campaign with the subset of CLI knobs that apply
+/// to it (`--seed`, `--workers`, `--out`/`--no-out`, `--dry-run`).
+fn run_rare_campaign(mut spec: rareevent::RareCampaignSpec, cli: &Cli) -> ExitCode {
+    if let Some(seed) = cli.seed {
+        spec.master_seed = seed;
+    }
+    if cli.dry_run {
+        let rows: Vec<Vec<String>> = spec
+            .cells
+            .iter()
+            .map(|cell| {
+                vec![
+                    cell.id.clone(),
+                    cell.method.name().into(),
+                    format!("{}", cell.n),
+                    format!("{}", cell.m),
+                    format!("{:.3}", cell.mu),
+                    format!("{}", cell.cycles),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("campaign {} [{}] — dry run", spec.name, spec.digest()),
+            &["id", "method", "n", "m", "mu/h", "cycles"],
+            &rows,
+        );
+        println!(
+            "{} cells, master seed {}; nothing simulated",
+            spec.cells.len(),
+            spec.master_seed
+        );
+        return ExitCode::SUCCESS;
+    }
+    let out = if cli.no_out {
+        None
+    } else {
+        Some(
+            cli.out
+                .clone()
+                .unwrap_or_else(|| PathBuf::from(format!("results/{}.json", spec.name))),
+        )
+    };
+    eprintln!(
+        "campaign {:?}: {} cells, master seed {}, digest {}, {} workers",
+        spec.name,
+        spec.cells.len(),
+        spec.master_seed,
+        spec.digest(),
+        cli.workers
+    );
+    let outcome = match rareevent::run(
+        &spec,
+        &rareevent::RareRunOptions {
+            workers: cli.workers,
+            out,
+            quiet: false,
+        },
+    ) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    rareevent::print_rare_table(&outcome.artifact);
+    if let Some(path) = &outcome.artifact_path {
+        eprintln!("artifact: {}", path.display());
+    }
+    if outcome.failed > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let cli = parse_cli();
 
     if cli.list {
         let rows: Vec<Vec<String>> = registry::ENTRIES
             .iter()
+            .chain(rareevent::RARE_ENTRIES.iter())
             .map(|e| {
                 vec![
                     e.name.to_string(),
@@ -149,6 +225,33 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
+        // Dispatch on the artifact's own format field, so one --check
+        // flag covers both campaign kinds.
+        let format = dra_campaign::json::parse(&text).ok().and_then(|doc| {
+            doc.get("format")
+                .and_then(dra_campaign::json::Json::as_str)
+                .map(String::from)
+        });
+        if format.as_deref() == Some(rareevent::RARE_ARTIFACT_FORMAT) {
+            return match rareevent::validate_rare_artifact(&text) {
+                Ok((cells, misses)) => {
+                    println!(
+                        "{}: valid {} artifact, {cells} cells, {misses} CI misses",
+                        path.display(),
+                        rareevent::RARE_ARTIFACT_FORMAT
+                    );
+                    if misses > 0 {
+                        ExitCode::FAILURE
+                    } else {
+                        ExitCode::SUCCESS
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{}: INVALID artifact: {e}", path.display());
+                    ExitCode::FAILURE
+                }
+            };
+        }
         return match engine::validate_artifact(&text) {
             Ok((cells, errors)) => {
                 println!(
@@ -172,6 +275,11 @@ fn main() -> ExitCode {
     let mut spec = match registry::build(&cli.spec, cli.quick) {
         Some(s) => s,
         None => {
+            // Not a packet campaign — fall back to the rare-event
+            // registry before giving up.
+            if let Some(rspec) = rareevent::build(&cli.spec, cli.quick) {
+                return run_rare_campaign(rspec, &cli);
+            }
             eprintln!("unknown spec {:?}; try --list", cli.spec);
             return ExitCode::FAILURE;
         }

@@ -26,6 +26,11 @@
 //!   cells — and still produce byte-identical artifacts.
 //! * [`registry`] — built-in specs (`faceoff`, `fig8`) with `--quick`
 //!   CI reductions.
+//! * [`rareevent`] — a second campaign kind: grids of
+//!   [`dra_core::rareevent`] estimator runs (importance splitting,
+//!   likelihood-ratio failure biasing, brute force) with a per-cell
+//!   exact-Markov cross-check, emitted as `dra-rareevent/v1`
+//!   artifacts under the same determinism contract.
 //! * [`json`] / [`report`] — the hand-rolled JSON layer (the build
 //!   environment has no serde) and shared table/CSV printers.
 //!
@@ -37,6 +42,7 @@
 pub mod engine;
 pub mod json;
 pub mod pool;
+pub mod rareevent;
 pub mod registry;
 pub mod report;
 pub mod seed;

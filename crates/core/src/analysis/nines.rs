@@ -52,6 +52,72 @@ pub fn format_nines(a: f64) -> String {
     format!("9^{k} {d}")
 }
 
+/// Nines notation for an *estimated* availability: the point value
+/// bracketed by the confidence interval, propagated from an
+/// unavailability estimate `u ± ci` (the form the rare-event estimators
+/// produce).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NinesInterval {
+    /// Nines of the conservative edge (availability `1 − (u + ci)`).
+    pub lo: (usize, u8),
+    /// Nines of the point estimate (availability `1 − u`).
+    pub point: (usize, u8),
+    /// Nines of the optimistic edge (availability `1 − (u − ci)`);
+    /// `None` when the CI reaches unavailability 0, i.e. the data
+    /// cannot bound the nines from above.
+    pub hi: Option<(usize, u8)>,
+}
+
+/// Decompose an unavailability estimate with 95% half-width into a
+/// nines interval. Accepts the zero-event case (`u = 0` with `ci`
+/// carrying an upper *bound*): the bound becomes the conservative
+/// edge and the optimistic edge is unbounded.
+pub fn nines_interval(unavailability: f64, ci_half: f64) -> NinesInterval {
+    assert!(
+        unavailability.is_finite() && unavailability >= 0.0 && ci_half >= 0.0,
+        "bad estimate ({unavailability} ± {ci_half})"
+    );
+    let lo_avail = (1.0 - (unavailability + ci_half)).max(0.0);
+    let hi_u = unavailability - ci_half;
+    NinesInterval {
+        lo: nines(lo_avail),
+        point: nines((1.0 - unavailability).max(0.0)),
+        hi: (hi_u > 0.0).then(|| nines(1.0 - hi_u)),
+    }
+}
+
+/// Render a [`NinesInterval`] in the paper's notation, e.g.
+/// `9^8 7 [9^8 2, 9^9 1]`; an unbounded optimistic edge renders as `∞`.
+pub fn format_nines_interval(iv: &NinesInterval) -> String {
+    let one = |(k, d): (usize, u8)| {
+        if k == usize::MAX {
+            "1.0".to_string()
+        } else if k == 0 {
+            format!("0.{d}…")
+        } else {
+            format!("9^{k} {d}")
+        }
+    };
+    let hi = iv.hi.map(one).unwrap_or_else(|| "∞".to_string());
+    format!("{} [{}, {hi}]", one(iv.point), one(iv.lo))
+}
+
+/// Annual downtime (minutes/year) for an unavailability estimate with
+/// CI: `(conservative, point, optimistic)` — the optimistic edge clamps
+/// at zero.
+pub fn annual_downtime_minutes_interval(unavailability: f64, ci_half: f64) -> (f64, f64, f64) {
+    assert!(
+        unavailability >= 0.0 && ci_half >= 0.0,
+        "bad estimate ({unavailability} ± {ci_half})"
+    );
+    let minutes = |u: f64| u * 365.25 * 24.0 * 60.0;
+    (
+        minutes(unavailability + ci_half),
+        minutes(unavailability),
+        minutes((unavailability - ci_half).max(0.0)),
+    )
+}
+
 /// Expected downtime per year (minutes) at a given availability — the
 /// unit operators actually budget in ("five nines = 5.26 min/yr").
 pub fn annual_downtime_minutes(availability: f64) -> f64 {
@@ -131,6 +197,38 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn negative_rejected() {
         nines(-0.1);
+    }
+
+    #[test]
+    fn interval_brackets_the_point() {
+        // 1.5e-9 ± 0.5e-9: eight nines conservatively and at the
+        // point, nine nines at the optimistic edge.
+        let iv = nines_interval(1.5e-9, 0.5e-9);
+        assert_eq!(iv.lo.0, 8);
+        assert_eq!(iv.point, (8, 8)); // 1 − 1.5e-9
+        let hi = iv.hi.expect("bounded above");
+        assert_eq!(hi.0, 9);
+        assert!(iv.lo.0 <= iv.point.0 && iv.point.0 <= hi.0);
+        let s = format_nines_interval(&iv);
+        assert!(s.contains("9^8 8"), "{s}");
+    }
+
+    #[test]
+    fn interval_zero_event_case_is_one_sided() {
+        // u = 0 with a rule-of-three style bound as the half-width.
+        let iv = nines_interval(0.0, 3e-7);
+        assert_eq!(iv.point, (usize::MAX, 0));
+        assert_eq!(iv.lo.0, 6, "conservative edge from the bound");
+        assert!(iv.hi.is_none(), "no optimistic edge without events");
+        assert!(format_nines_interval(&iv).ends_with("∞]"));
+    }
+
+    #[test]
+    fn downtime_interval_orders_and_clamps() {
+        let (worst, point, best) = annual_downtime_minutes_interval(1e-5, 2e-5);
+        assert!(worst > point);
+        assert_eq!(best, 0.0, "CI through zero clamps to no downtime");
+        assert!((point - annual_downtime_minutes(1.0 - 1e-5)).abs() < 1e-9);
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod coverage;
 pub mod eib;
 pub mod handle;
 pub mod montecarlo;
+pub mod rareevent;
 pub mod scenario;
 pub mod sim;
 

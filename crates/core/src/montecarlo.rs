@@ -77,10 +77,39 @@ pub struct McEstimate {
     pub ci_half: f64,
     /// Replications used.
     pub replications: usize,
+    /// When **zero** adverse events were observed (every replication
+    /// survived / saw no downtime), the normal-approximation CI
+    /// degenerates to `1.0 ± 0.0`, which overstates certainty
+    /// enormously. This carries the rule-of-three 95% upper bound on
+    /// the adverse probability instead (`≈ 3/n`, the small-p limit of
+    /// the exact Clopper–Pearson bound `1 − 0.05^{1/n}`). `None` when
+    /// at least one adverse event was seen.
+    pub zero_event_upper: Option<f64>,
+}
+
+impl McEstimate {
+    /// Conservative 95% upper bound on the adverse probability
+    /// (unreliability / unavailability): the half-width-implied bound
+    /// when events were observed, the rule-of-three bound when none
+    /// were.
+    pub fn adverse_upper_bound(&self) -> f64 {
+        match self.zero_event_upper {
+            Some(u) => u,
+            None => (1.0 - self.mean + self.ci_half).max(0.0),
+        }
+    }
+}
+
+/// Exact Clopper–Pearson 95% upper bound on an event probability after
+/// observing **zero** events in `n` trials: `1 − 0.05^{1/n}` (≈ `3/n`
+/// for large `n` — the "rule of three").
+pub fn zero_event_upper_bound(n: usize) -> f64 {
+    assert!(n > 0, "zero_event_upper_bound: no trials");
+    1.0 - 0.05_f64.powf(1.0 / n as f64)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Entity {
+pub(crate) enum Entity {
     LcuaPdlu,
     LcuaPi,
     InterPdlu,
@@ -90,16 +119,17 @@ enum Entity {
 }
 
 /// State of one replication.
-struct RepState {
-    lcua_pdlu_failed: bool,
-    lcua_pi_failed: bool,
-    inter_pdlu_alive: usize,
-    inter_pi_alive: usize,
-    eib_ok: bool,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RepState {
+    pub(crate) lcua_pdlu_failed: bool,
+    pub(crate) lcua_pi_failed: bool,
+    pub(crate) inter_pdlu_alive: usize,
+    pub(crate) inter_pi_alive: usize,
+    pub(crate) eib_ok: bool,
 }
 
 impl RepState {
-    fn fresh(m: usize, n: usize) -> Self {
+    pub(crate) fn fresh(m: usize, n: usize) -> Self {
         RepState {
             lcua_pdlu_failed: false,
             lcua_pi_failed: false,
@@ -110,7 +140,7 @@ impl RepState {
     }
 
     /// The Markov model's serviceability predicate (Extended bounds).
-    fn serviceable(&self) -> bool {
+    pub(crate) fn serviceable(&self) -> bool {
         if self.lcua_pdlu_failed {
             return self.eib_ok && self.inter_pdlu_alive > 0;
         }
@@ -121,48 +151,68 @@ impl RepState {
     }
 }
 
-/// Active transition rates for the current state.
-fn active_rates(s: &RepState, cfg: &McConfig, mu: Option<f64>) -> Vec<(Entity, f64)> {
-    let r = &cfg.rates;
-    let mut v = Vec::with_capacity(6);
+/// Allocation-free core of [`active_rates`]: fill `buf` with the
+/// active transitions and return how many were written. Shared with
+/// the rare-event estimators, which call this billions of times.
+pub(crate) fn active_rates_into(
+    s: &RepState,
+    n: usize,
+    m: usize,
+    r: &FailureRates,
+    mu: Option<f64>,
+    buf: &mut [(Entity, f64); 6],
+) -> usize {
+    let mut k = 0;
     let lcua_intact = !s.lcua_pdlu_failed && !s.lcua_pi_failed;
     if lcua_intact {
-        v.push((Entity::LcuaPdlu, r.pdlu));
-        v.push((Entity::LcuaPi, r.pi_units));
+        buf[k] = (Entity::LcuaPdlu, r.pdlu);
+        buf[k + 1] = (Entity::LcuaPi, r.pi_units);
+        k += 2;
     }
     if s.inter_pdlu_alive > 0 {
-        v.push((
+        buf[k] = (
             Entity::InterPdlu,
             s.inter_pdlu_alive as f64 * r.inter_pdlu(),
-        ));
+        );
+        k += 1;
     }
     if s.inter_pi_alive > 0 {
-        v.push((Entity::InterPi, s.inter_pi_alive as f64 * r.inter_pi()));
+        buf[k] = (Entity::InterPi, s.inter_pi_alive as f64 * r.inter_pi());
+        k += 1;
     }
     if s.eib_ok {
-        v.push((Entity::Eib, r.eib + r.bus_controller));
+        buf[k] = (Entity::Eib, r.eib + r.bus_controller);
+        k += 1;
     }
     if let Some(mu) = mu {
         let degraded = !s.eib_ok
             || s.lcua_pdlu_failed
             || s.lcua_pi_failed
-            || s.inter_pdlu_alive < cfg.m - 1
-            || s.inter_pi_alive < cfg.n - 2;
+            || s.inter_pdlu_alive < m - 1
+            || s.inter_pi_alive < n - 2;
         if degraded {
-            v.push((Entity::Repair, mu));
+            buf[k] = (Entity::Repair, mu);
+            k += 1;
         }
     }
-    v
+    k
 }
 
-fn apply(s: &mut RepState, e: Entity, cfg: &McConfig) {
+/// Active transition rates for the current state.
+fn active_rates(s: &RepState, cfg: &McConfig, mu: Option<f64>) -> Vec<(Entity, f64)> {
+    let mut buf = [(Entity::Repair, 0.0); 6];
+    let k = active_rates_into(s, cfg.n, cfg.m, &cfg.rates, mu, &mut buf);
+    buf[..k].to_vec()
+}
+
+pub(crate) fn apply(s: &mut RepState, e: Entity, n: usize, m: usize) {
     match e {
         Entity::LcuaPdlu => s.lcua_pdlu_failed = true,
         Entity::LcuaPi => s.lcua_pi_failed = true,
         Entity::InterPdlu => s.inter_pdlu_alive -= 1,
         Entity::InterPi => s.inter_pi_alive -= 1,
         Entity::Eib => s.eib_ok = false,
-        Entity::Repair => *s = RepState::fresh(cfg.m, cfg.n),
+        Entity::Repair => *s = RepState::fresh(m, n),
     }
 }
 
@@ -183,6 +233,7 @@ pub fn run_dra_mc(cfg: &McConfig, mode: McMode) -> McEstimate {
     assert!(cfg.replications >= 2);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut acc = dra_des::stats::Welford::new();
+    let mut adverse = 0usize;
 
     for _ in 0..cfg.replications {
         match mode {
@@ -200,11 +251,14 @@ pub fn run_dra_mc(cfg: &McConfig, mode: McMode) -> McEstimate {
                         break true;
                     }
                     let e = pick(&mut rng, &rates, total);
-                    apply(&mut s, e, cfg);
+                    apply(&mut s, e, cfg.n, cfg.m);
                     if !s.serviceable() {
                         break false;
                     }
                 };
+                if !survived {
+                    adverse += 1;
+                }
                 acc.push(if survived { 1.0 } else { 0.0 });
             }
             McMode::Availability {
@@ -220,6 +274,9 @@ pub fn run_dra_mc(cfg: &McConfig, mode: McMode) -> McEstimate {
                         availability_rep_deterministic(&mut rng, cfg, horizon_h, mu)
                     }
                 };
+                if frac < 1.0 {
+                    adverse += 1;
+                }
                 acc.push(frac);
             }
         }
@@ -228,6 +285,7 @@ pub fn run_dra_mc(cfg: &McConfig, mode: McMode) -> McEstimate {
         mean: acc.mean(),
         ci_half: acc.ci_half_width(1.96),
         replications: cfg.replications,
+        zero_event_upper: (adverse == 0).then(|| zero_event_upper_bound(cfg.replications)),
     }
 }
 
@@ -256,7 +314,7 @@ fn availability_rep_exponential(
         t += dt;
         if t < horizon_h && total > 0.0 {
             let e = pick(rng, &rates, total);
-            apply(&mut s, e, cfg);
+            apply(&mut s, e, cfg.n, cfg.m);
         }
     }
     up_time / horizon_h
@@ -300,7 +358,7 @@ fn availability_rep_deterministic(
             repair_at = None;
         } else {
             let e = pick(rng, &rates, total);
-            apply(&mut s, e, cfg);
+            apply(&mut s, e, cfg.n, cfg.m);
             if repair_at.is_none() {
                 repair_at = Some(t + repair_time);
             }
@@ -314,12 +372,16 @@ pub fn run_bdr_mc(cfg: &McConfig, mode: McMode) -> McEstimate {
     assert!(cfg.replications >= 2);
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut acc = dra_des::stats::Welford::new();
+    let mut adverse = 0usize;
     let lambda = cfg.rates.lc;
 
     for _ in 0..cfg.replications {
         match mode {
             McMode::Reliability { horizon_h } => {
                 let ttf = random::exponential(&mut rng, lambda);
+                if ttf < horizon_h {
+                    adverse += 1;
+                }
                 acc.push(if ttf >= horizon_h { 1.0 } else { 0.0 });
             }
             McMode::Availability {
@@ -348,6 +410,9 @@ pub fn run_bdr_mc(cfg: &McConfig, mode: McMode) -> McEstimate {
                         up = !up;
                     }
                 }
+                if up_time < horizon_h {
+                    adverse += 1;
+                }
                 acc.push(up_time / horizon_h);
             }
         }
@@ -356,6 +421,7 @@ pub fn run_bdr_mc(cfg: &McConfig, mode: McMode) -> McEstimate {
         mean: acc.mean(),
         ci_half: acc.ci_half_width(1.96),
         replications: cfg.replications,
+        zero_event_upper: (adverse == 0).then(|| zero_event_upper_bound(cfg.replications)),
     }
 }
 
@@ -543,6 +609,48 @@ mod tests {
         c2.seed += 1;
         let d = run_dra_mc(&c2, McMode::Reliability { horizon_h: 50.0 });
         assert_ne!(a.mean, d.mean);
+    }
+
+    #[test]
+    fn zero_event_runs_report_rule_of_three_bound() {
+        // Paper rates over one hour: no replication can plausibly fail,
+        // so the estimate must carry the Clopper–Pearson zero-event
+        // upper bound rather than a degenerate 1.0 ± 0.0.
+        let c = McConfig {
+            n: 5,
+            m: 3,
+            rates: FailureRates::PAPER,
+            replications: 1000,
+            seed: 1,
+        };
+        let est = run_dra_mc(&c, McMode::Reliability { horizon_h: 1.0 });
+        assert_eq!(est.mean, 1.0);
+        assert_eq!(est.ci_half, 0.0);
+        let ub = est
+            .zero_event_upper
+            .expect("zero events must set the bound");
+        assert!((ub - zero_event_upper_bound(1000)).abs() < 1e-15);
+        // Rule-of-three limit: ≈ 3/n.
+        assert!((ub - 3.0 / 1000.0).abs() < 3e-4, "bound {ub}");
+        assert_eq!(est.adverse_upper_bound(), ub);
+
+        // Availability mode at paper rates over a short window: same.
+        let est_a = run_dra_mc(
+            &c,
+            McMode::Availability {
+                horizon_h: 10.0,
+                mu: 1.0 / 3.0,
+                repair: RepairDist::Exponential,
+            },
+        );
+        assert!(est_a.zero_event_upper.is_some());
+
+        // With events observed the bound is absent and the CI is live.
+        let c2 = cfg(3, 2, 1000.0, 5_000);
+        let est2 = run_dra_mc(&c2, McMode::Reliability { horizon_h: 40.0 });
+        assert!(est2.zero_event_upper.is_none());
+        assert!(est2.ci_half > 0.0);
+        assert!(est2.adverse_upper_bound() >= 1.0 - est2.mean);
     }
 
     #[test]

@@ -66,6 +66,39 @@ pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
     (u.ln() / (1.0 - p).ln()).floor() as u64
 }
 
+/// Draw an index from `weights` proportionally, given their
+/// precomputed sum `total` — **one** uniform variate per draw, walked
+/// linearly.
+///
+/// This is the primitive under competing-risks picks (which transition
+/// fires next in a CTMC race) and under *biased* draws for importance
+/// sampling: the caller supplies whatever proposal weights it likes and
+/// corrects with a likelihood ratio. Zero-weight entries are never
+/// selected (the walk passes over them without consuming mass).
+///
+/// # Panics
+/// Panics when `weights` is empty or `total` is not strictly positive.
+#[inline]
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64], total: f64) -> usize {
+    assert!(
+        !weights.is_empty() && total > 0.0 && total.is_finite(),
+        "weighted_index: bad inputs"
+    );
+    let mut x = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if x < w {
+            return i;
+        }
+        x -= w;
+    }
+    // Floating-point slack can exhaust the walk; return the last
+    // positive-weight entry, as an inverse-CDF draw would.
+    weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .unwrap_or(weights.len() - 1)
+}
+
 /// A discrete empirical distribution over arbitrary items.
 ///
 /// Sampling is O(log n) by binary search on the cumulative weights; the
@@ -208,6 +241,40 @@ mod tests {
         // Mean of failures-before-success geometric is (1-p)/p = 4.
         assert!((mean - 4.0).abs() < 0.1, "mean {mean}");
         assert_eq!(geometric(&mut r, 1.0), 0);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = rng();
+        let w = [1.0, 3.0, 0.0, 4.0];
+        let total: f64 = w.iter().sum();
+        let mut counts = [0usize; 4];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[weighted_index(&mut r, &w, total)] += 1;
+        }
+        assert_eq!(counts[2], 0, "zero-weight entry drawn");
+        for (i, &wi) in w.iter().enumerate() {
+            let p = counts[i] as f64 / n as f64;
+            assert!((p - wi / total).abs() < 0.01, "idx {i}: p={p}");
+        }
+    }
+
+    #[test]
+    fn weighted_index_trailing_zero_weight_never_selected() {
+        // Even if fp slack exhausts the walk, the fallback must land on
+        // the last *positive* weight, not a trailing zero.
+        let mut r = rng();
+        let w = [1.0, 0.0];
+        for _ in 0..10_000 {
+            assert_eq!(weighted_index(&mut r, &w, 1.0), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bad inputs")]
+    fn weighted_index_rejects_empty() {
+        weighted_index(&mut rng(), &[], 1.0);
     }
 
     #[test]

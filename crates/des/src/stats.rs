@@ -120,6 +120,134 @@ impl Welford {
     }
 }
 
+/// Bivariate Welford accumulator for **ratio estimators** — the output
+/// analysis of regenerative simulation, where the quantity of interest
+/// is `E[X]/E[Y]` over i.i.d. cycle pairs `(x_i, y_i)` (e.g. downtime
+/// over cycle length).
+///
+/// Tracks means, variances, *and the covariance* in one pass, because
+/// the delta-method confidence interval for a ratio needs all three:
+/// the numerator and denominator of one cycle are strongly correlated
+/// and treating them as independent misstates the CI.
+#[derive(Debug, Clone, Default)]
+pub struct Welford2 {
+    n: u64,
+    mean_x: f64,
+    mean_y: f64,
+    m2x: f64,
+    m2y: f64,
+    cxy: f64,
+}
+
+impl Welford2 {
+    /// Fresh accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one paired observation `(x, y)`.
+    #[inline]
+    pub fn push(&mut self, x: f64, y: f64) {
+        self.n += 1;
+        let n = self.n as f64;
+        let dx = x - self.mean_x;
+        self.mean_x += dx / n;
+        let dy = y - self.mean_y;
+        self.mean_y += dy / n;
+        // Co-moment uses the pre-update x delta and post-update y mean,
+        // the standard single-pass covariance recurrence.
+        self.cxy += dx * (y - self.mean_y);
+        self.m2x += dx * (x - self.mean_x);
+        self.m2y += dy * (y - self.mean_y);
+    }
+
+    /// Number of paired observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean of the first coordinate.
+    pub fn mean_x(&self) -> f64 {
+        self.mean_x
+    }
+
+    /// Sample mean of the second coordinate.
+    pub fn mean_y(&self) -> f64 {
+        self.mean_y
+    }
+
+    /// Unbiased sample variance of the first coordinate.
+    pub fn var_x(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2x / (self.n - 1) as f64
+        }
+    }
+
+    /// Unbiased sample variance of the second coordinate.
+    pub fn var_y(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2y / (self.n - 1) as f64
+        }
+    }
+
+    /// Unbiased sample covariance.
+    pub fn covariance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.cxy / (self.n - 1) as f64
+        }
+    }
+
+    /// Point estimate of the ratio `E[X]/E[Y]` (NaN when `mean_y` is 0).
+    pub fn ratio(&self) -> f64 {
+        self.mean_x / self.mean_y
+    }
+
+    /// Delta-method confidence half-width for the ratio at z-score `z`:
+    /// `Var(R) ≈ (s_xx − 2R·s_xy + R²·s_yy) / (n·ȳ²)`.
+    ///
+    /// Returns NaN with fewer than two observations or a zero
+    /// denominator mean.
+    pub fn ratio_ci_half(&self, z: f64) -> f64 {
+        if self.n < 2 || self.mean_y == 0.0 {
+            return f64::NAN;
+        }
+        let r = self.ratio();
+        let v = self.var_x() - 2.0 * r * self.covariance() + r * r * self.var_y();
+        // Cancellation can drive the delta-method variance a hair
+        // negative; clamp rather than emit NaN.
+        z * (v.max(0.0) / (self.n as f64 * self.mean_y * self.mean_y)).sqrt()
+    }
+
+    /// Merge another accumulator into this one (parallel sweeps,
+    /// mirroring [`Welford::merge`]).
+    pub fn merge(&mut self, other: &Welford2) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let total = n1 + n2;
+        let dx = other.mean_x - self.mean_x;
+        let dy = other.mean_y - self.mean_y;
+        self.m2x += other.m2x + dx * dx * n1 * n2 / total;
+        self.m2y += other.m2y + dy * dy * n1 * n2 / total;
+        self.cxy += other.cxy + dx * dy * n1 * n2 / total;
+        self.mean_x += dx * n2 / total;
+        self.mean_y += dy * n2 / total;
+        self.n += other.n;
+    }
+}
+
 /// Time-weighted average of a piecewise-constant signal, e.g. queue
 /// length or "is this linecard operational".
 #[derive(Debug, Clone)]
@@ -383,6 +511,69 @@ mod tests {
         let mut e = Welford::new();
         e.merge(&all);
         assert!((e.mean() - all.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford2_matches_naive() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let ys = [2.0, 3.0, 7.0, 6.0, 10.0];
+        let mut w = Welford2::new();
+        for (&x, &y) in xs.iter().zip(&ys) {
+            w.push(x, y);
+        }
+        let mx = xs.iter().sum::<f64>() / 5.0;
+        let my = ys.iter().sum::<f64>() / 5.0;
+        let cov = xs
+            .iter()
+            .zip(&ys)
+            .map(|(x, y)| (x - mx) * (y - my))
+            .sum::<f64>()
+            / 4.0;
+        assert!((w.mean_x() - mx).abs() < 1e-12);
+        assert!((w.mean_y() - my).abs() < 1e-12);
+        assert!((w.covariance() - cov).abs() < 1e-12);
+        assert!((w.ratio() - mx / my).abs() < 1e-12);
+        assert!(w.ratio_ci_half(1.96) > 0.0);
+    }
+
+    #[test]
+    fn welford2_perfectly_correlated_ratio_has_zero_ci() {
+        // y = 2x exactly: the ratio x/y is 0.5 with zero sampling
+        // noise, which only a covariance-aware CI can see.
+        let mut w = Welford2::new();
+        for i in 1..=100 {
+            let x = i as f64;
+            w.push(x, 2.0 * x);
+        }
+        assert!((w.ratio() - 0.5).abs() < 1e-12);
+        assert!(
+            w.ratio_ci_half(1.96).abs() < 1e-9,
+            "ci {} should vanish",
+            w.ratio_ci_half(1.96)
+        );
+    }
+
+    #[test]
+    fn welford2_merge_equals_sequential() {
+        let pairs: Vec<(f64, f64)> = (0..50)
+            .map(|i| ((i * 7 % 13) as f64, 1.0 + (i * 5 % 11) as f64))
+            .collect();
+        let mut all = Welford2::new();
+        let mut a = Welford2::new();
+        let mut b = Welford2::new();
+        for (i, &(x, y)) in pairs.iter().enumerate() {
+            all.push(x, y);
+            if i < 20 {
+                a.push(x, y);
+            } else {
+                b.push(x, y);
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean_x() - all.mean_x()).abs() < 1e-12);
+        assert!((a.covariance() - all.covariance()).abs() < 1e-9);
+        assert!((a.ratio_ci_half(1.96) - all.ratio_ci_half(1.96)).abs() < 1e-12);
     }
 
     #[test]

@@ -19,6 +19,9 @@
 //! * [`reward`] — state reward structures: instantaneous expected
 //!   reward (e.g. point availability), and probability mass over a
 //!   state predicate (e.g. reliability = mass outside the failed set).
+//! * [`oracle`] — one-call exact answers (steady-state mass of a state
+//!   set, mean hitting time of a state set) used as the ground truth
+//!   when validating rare-event estimators on small models.
 
 #![warn(missing_docs)]
 // Index-parallel numerical kernels read better with explicit indices.
@@ -26,6 +29,7 @@
 
 pub mod absorbing;
 pub mod ctmc;
+pub mod oracle;
 pub mod phase;
 pub mod reward;
 pub mod steady;

@@ -1,0 +1,116 @@
+//! Exact-answer oracle harness for validating stochastic estimators.
+//!
+//! Rare-event estimators (importance splitting, likelihood-ratio
+//! sampling) are only trustworthy if they can be shown to reproduce
+//! exact answers where exact answers exist. On small state spaces the
+//! CTMC machinery in this crate *is* that exact answer; this module
+//! packages the two quantities an availability estimator must match —
+//! the steady-state probability of a state set, and the mean hitting
+//! time of a state set — behind one-call helpers so test harnesses in
+//! higher crates don't each re-derive the reductions.
+
+use crate::ctmc::{Ctmc, CtmcBuilder, StateId};
+use crate::steady::{steady_state, SteadyMethod};
+use crate::{absorbing, Result};
+
+/// Exact steady-state probability of being in any of `states`
+/// (e.g. unavailability = steady mass of the down set), by dense LU on
+/// the balance equations.
+pub fn steady_probability(chain: &Ctmc, states: &[StateId]) -> Result<f64> {
+    let pi = steady_state(chain, SteadyMethod::DirectLu)?;
+    Ok(states.iter().map(|s| pi[s.index()]).sum())
+}
+
+/// Exact mean hitting time of the set `targets` starting from `start`
+/// (e.g. MTTF = mean hitting time of the down set from the fresh
+/// state).
+///
+/// Built by re-erecting the chain with every target state made
+/// absorbing — outgoing rates dropped — and running the absorbing-state
+/// analysis. Returns `0.0` when `start` is itself a target.
+///
+/// # Errors
+/// Propagates [`crate::MarkovError::BadStructure`] when `targets` is
+/// empty or some transient state cannot reach the target set.
+pub fn mean_hitting_time(chain: &Ctmc, start: StateId, targets: &[StateId]) -> Result<f64> {
+    if targets.contains(&start) {
+        return Ok(0.0);
+    }
+    let mut b = CtmcBuilder::new();
+    let ids: Vec<StateId> = chain
+        .states()
+        .map(|s| b.state(chain.label(s)))
+        .collect::<Result<_>>()?;
+    let gen = chain.generator();
+    for s in chain.states() {
+        if targets.contains(&s) {
+            continue; // absorbing in the hitting-time chain
+        }
+        for (col, v) in gen.row_entries(s.index()) {
+            if col != s.index() && v > 0.0 {
+                b.rate(ids[s.index()], ids[col], v)?;
+            }
+        }
+    }
+    let hit_chain = b.build()?;
+    let analysis = absorbing::analyze(&hit_chain)?;
+    analysis
+        .mtta_from(ids[start.index()])
+        .ok_or(crate::MarkovError::BadStructure {
+            reason: "start state is not transient in the hitting chain",
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state machine-repair model: exact answers are closed-form.
+    fn two_state(lambda: f64, mu: f64) -> (Ctmc, StateId, StateId) {
+        let mut b = CtmcBuilder::new();
+        let up = b.state("up").unwrap();
+        let down = b.state("down").unwrap();
+        b.rate(up, down, lambda).unwrap();
+        b.rate(down, up, mu).unwrap();
+        (b.build().unwrap(), up, down)
+    }
+
+    #[test]
+    fn steady_probability_matches_closed_form() {
+        let (chain, _, down) = two_state(2e-5, 1.0 / 3.0);
+        let u = steady_probability(&chain, &[down]).unwrap();
+        let expect = 2e-5 / (2e-5 + 1.0 / 3.0);
+        assert!((u - expect).abs() < 1e-15, "{u} vs {expect}");
+    }
+
+    #[test]
+    fn mean_hitting_time_matches_closed_form() {
+        let (chain, up, down) = two_state(2e-5, 1.0 / 3.0);
+        let mttf = mean_hitting_time(&chain, up, &[down]).unwrap();
+        assert!((mttf - 1.0 / 2e-5).abs() / (1.0 / 2e-5) < 1e-12);
+        // Hitting a set containing the start is instantaneous.
+        assert_eq!(mean_hitting_time(&chain, down, &[down]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn mean_hitting_time_three_state_chain() {
+        // up --a--> mid --b--> down, with repair mid --r--> up.
+        // First-step analysis: T_up = 1/a + T_mid,
+        // T_mid = 1/(b+r) + r/(b+r) * T_up.
+        let (a, bb, r) = (0.5, 0.25, 2.0);
+        let mut builder = CtmcBuilder::new();
+        let up = builder.state("up").unwrap();
+        let mid = builder.state("mid").unwrap();
+        let down = builder.state("down").unwrap();
+        builder.rate(up, mid, a).unwrap();
+        builder.rate(mid, down, bb).unwrap();
+        builder.rate(mid, up, r).unwrap();
+        builder.rate(down, up, 1.0).unwrap(); // repair keeps it ergodic
+        let chain = builder.build().unwrap();
+
+        let t = mean_hitting_time(&chain, up, &[down]).unwrap();
+        let denom = bb + r;
+        let expect = (1.0 / a + 1.0 / denom) / (1.0 - r / denom);
+        assert!((t - expect).abs() < 1e-10, "{t} vs {expect}");
+    }
+}
