@@ -75,10 +75,51 @@ use dra_router::fabric::Crossbar;
 use dra_router::ingress::ArrivalTrain;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// The artifact format identifier; bump when the layout changes.
 const BENCH_FORMAT: &str = "dra-bench/v1";
+
+// ------------------------------------------------------- counting allocator
+
+/// Counts every heap allocation (alloc, zeroed, and growth realloc) so
+/// the simulation sections can report `allocs_per_event` next to their
+/// throughput: the zero-alloc hot-path claim, measured where the
+/// throughput is measured. One relaxed atomic increment per allocation
+/// is noise against a real allocator call, and steady-state hot loops
+/// make no allocator calls at all — which is exactly what the column
+/// is there to prove.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Allocations counted so far; diff around a timed region.
+fn allocs_now() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 // ---------------------------------------------------------------- DES kernel
 
@@ -595,23 +636,36 @@ fn bench_topo(quick: bool) -> Json {
             seed_group: 0,
         };
         let mut best = 0.0f64;
+        let mut best_ev = 0.0f64;
         let mut delivered = 0u64;
+        let mut events = 0u64;
+        let mut min_ape = f64::INFINITY;
         for _ in 0..reps {
             let net = build_network(&cell, 0xD8A_70B0, 0);
             let mut sim = net.simulation(0xD8A_70B0);
+            let a0 = allocs_now();
             let t0 = Instant::now();
             sim.run_until(horizon);
             let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            let allocs = allocs_now() - a0;
             let stats = &sim.model().stats;
             assert!(stats.conserved(), "bench cell violated conservation");
             delivered = stats.delivered;
+            events = sim.events_processed();
             best = best.max(delivered as f64 / dt);
+            best_ev = best_ev.max(events as f64 / dt);
+            // Minimum across reps: the first rep pays one-time pool
+            // and table warmup that later reps (and long sweeps) don't.
+            min_ape = min_ape.min(allocs as f64 / events.max(1) as f64);
         }
         assert!(delivered > 0, "bench cell delivered nothing");
         entries.push(Json::obj(vec![
             ("name", Json::Str("mesh_4x4_net".to_string())),
             ("items", Json::Num(delivered as f64)),
             ("rate_per_sec", Json::Num(best)),
+            ("events", Json::Num(events as f64)),
+            ("events_per_sec", Json::Num(best_ev)),
+            ("allocs_per_event", Json::Num(min_ape)),
         ]));
     }
 
@@ -671,23 +725,53 @@ fn bench_pdes(quick: bool) -> Json {
             replications: 1,
             seed_group: 0,
         };
-        let timed = |sim_threads: usize| {
-            let mut best = 0.0f64;
-            let mut last = None;
-            for _ in 0..reps {
-                let mut net = build_network(&cell, 0xD8A_70B0, 0);
-                net.cfg.sim_threads = sim_threads;
-                let t0 = Instant::now();
-                let done = net.run(0xD8A_70B0, horizon);
-                let dt = t0.elapsed().as_secs_f64().max(1e-9);
-                assert!(done.stats.conserved(), "bench pdes cell not conserved");
-                best = best.max(done.stats.delivered as f64 / dt);
-                last = Some(done.stats);
-            }
-            (best, last.expect("reps >= 1"))
-        };
-        let (serial_rate, serial) = timed(1);
-        let (par_rate, parallel) = timed(threads);
+        // Serial oracle, run through the kernel directly so it also
+        // yields the event count — the shared denominator for both
+        // engines' `events_per_sec` and `allocs_per_event` (the
+        // parallel engine does the same logical work; charging it the
+        // serial event count makes the two rows comparable).
+        let mut serial_rate = 0.0f64;
+        let mut serial_ev_rate = 0.0f64;
+        let mut serial_events = 0u64;
+        let mut serial_ape = f64::INFINITY;
+        let mut serial_last = None;
+        for _ in 0..reps {
+            let net = build_network(&cell, 0xD8A_70B0, 0);
+            let mut sim = net.simulation(0xD8A_70B0);
+            let a0 = allocs_now();
+            let t0 = Instant::now();
+            sim.run_until(horizon);
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            let allocs = allocs_now() - a0;
+            let stats = sim.model().stats.clone();
+            assert!(stats.conserved(), "bench pdes cell not conserved");
+            serial_events = sim.events_processed();
+            serial_rate = serial_rate.max(stats.delivered as f64 / dt);
+            serial_ev_rate = serial_ev_rate.max(serial_events as f64 / dt);
+            // Minimum across reps: the first rep pays one-time warmup.
+            serial_ape = serial_ape.min(allocs as f64 / serial_events.max(1) as f64);
+            serial_last = Some(stats);
+        }
+        let serial = serial_last.expect("reps >= 1");
+        let mut par_rate = 0.0f64;
+        let mut par_ev_rate = 0.0f64;
+        let mut par_ape = f64::INFINITY;
+        let mut par_last = None;
+        for _ in 0..reps {
+            let mut net = build_network(&cell, 0xD8A_70B0, 0);
+            net.cfg.sim_threads = threads;
+            let a0 = allocs_now();
+            let t0 = Instant::now();
+            let done = net.run(0xD8A_70B0, horizon);
+            let dt = t0.elapsed().as_secs_f64().max(1e-9);
+            let allocs = allocs_now() - a0;
+            assert!(done.stats.conserved(), "bench pdes cell not conserved");
+            par_rate = par_rate.max(done.stats.delivered as f64 / dt);
+            par_ev_rate = par_ev_rate.max(serial_events as f64 / dt);
+            par_ape = par_ape.min(allocs as f64 / serial_events.max(1) as f64);
+            par_last = Some(done.stats);
+        }
+        let parallel = par_last.expect("reps >= 1");
         assert_eq!(serial.injected, parallel.injected, "{name}: injected");
         assert_eq!(serial.delivered, parallel.delivered, "{name}: delivered");
         assert_eq!(serial.drops, parallel.drops, "{name}: drops");
@@ -704,6 +788,11 @@ fn bench_pdes(quick: bool) -> Json {
             ("serial_per_sec", Json::Num(serial_rate)),
             ("threads", Json::Num(threads as f64)),
             ("speedup_vs_serial", Json::Num(par_rate / serial_rate)),
+            ("events", Json::Num(serial_events as f64)),
+            ("events_per_sec", Json::Num(par_ev_rate)),
+            ("serial_events_per_sec", Json::Num(serial_ev_rate)),
+            ("allocs_per_event", Json::Num(par_ape)),
+            ("serial_allocs_per_event", Json::Num(serial_ape)),
         ]));
     }
     Json::Arr(entries)
@@ -1070,7 +1159,7 @@ fn check(artifact: &Json) -> Result<(), String> {
     }
     // Optional: artifacts predating the parallel network engine lack
     // the pdes section.
-    if artifact.get("pdes").is_some() {
+    if let Some(pdes) = artifact.get("pdes") {
         check_section(
             artifact,
             "pdes",
@@ -1083,6 +1172,27 @@ fn check(artifact: &Json) -> Result<(), String> {
                 "speedup_vs_serial",
             ],
         )?;
+        // Artifacts since the hot-path overhaul (BENCH_pr9.json) also
+        // carry event-rate and allocation columns; when the first
+        // entry has them, every entry must.
+        let has_alloc_cols = pdes
+            .as_arr()
+            .and_then(|a| a.first())
+            .and_then(|e| e.get("allocs_per_event"))
+            .is_some();
+        if has_alloc_cols {
+            check_section(
+                artifact,
+                "pdes",
+                &[
+                    "events",
+                    "events_per_sec",
+                    "serial_events_per_sec",
+                    "allocs_per_event",
+                    "serial_allocs_per_event",
+                ],
+            )?;
+        }
     }
     // Optional: artifacts predating the rare-event estimators lack
     // this section. When present, the headline acceleration — the best

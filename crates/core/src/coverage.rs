@@ -309,7 +309,21 @@ pub fn lc_serviceable(
     exclude_out: Option<u16>,
     eib_healthy: bool,
 ) -> bool {
-    let me = &lcs[lc_ua as usize];
+    lc_serviceable_with(|i| lcs[i], lcs.len(), lc_ua, exclude_out, eib_healthy)
+}
+
+/// [`lc_serviceable`] over an indexed view accessor instead of a
+/// materialized slice. This is the per-hop form: the network engine
+/// health-checks every transit, so the predicate must read views in
+/// place rather than `collect()` a `Vec<LcView>` per call.
+pub fn lc_serviceable_with(
+    lc_at: impl Fn(usize) -> LcView,
+    n_lcs: usize,
+    lc_ua: u16,
+    exclude_out: Option<u16>,
+    eib_healthy: bool,
+) -> bool {
+    let me = lc_at(lc_ua as usize);
     let c = me.components;
     if c.piu == Health::Failed {
         return false;
@@ -325,18 +339,19 @@ pub fn lc_serviceable(
         i as u16 != lc_ua && Some(i as u16) != exclude_out && lc.bc_ok()
     };
     if c.pdlu == Health::Failed {
-        let covered = lcs.iter().enumerate().any(|(i, lc)| {
-            candidate(i, lc) && lc.protocol == me.protocol && lc.components.pdlu == Health::Healthy
+        let covered = (0..n_lcs).any(|i| {
+            let lc = lc_at(i);
+            candidate(i, &lc) && lc.protocol == me.protocol && lc.components.pdlu == Health::Healthy
         });
         if !covered {
             return false;
         }
     }
     if c.sru == Health::Failed || c.lfe == Health::Failed {
-        let covered = lcs
-            .iter()
-            .enumerate()
-            .any(|(i, lc)| candidate(i, lc) && lc.components.pi_units_healthy());
+        let covered = (0..n_lcs).any(|i| {
+            let lc = lc_at(i);
+            candidate(i, &lc) && lc.components.pi_units_healthy()
+        });
         if !covered {
             return false;
         }

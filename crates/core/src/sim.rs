@@ -497,7 +497,21 @@ impl DraRouter {
     /// Is `lc`'s service currently deliverable (directly or covered)?
     /// Uses ground-truth health (the metric, not any card's view).
     pub fn lc_serviceable(&self, lc: u16) -> bool {
-        crate::coverage::lc_serviceable(&self.views(), lc, None, self.eib_healthy)
+        // The per-hop form: reads linecard state in place instead of
+        // materializing a `Vec<LcView>` per health check (this is the
+        // network hot path — see dra-topo's `net_hotpath_noalloc`).
+        let spare = self.config.router.port_rate_bps * (1.0 - self.config.router.load);
+        crate::coverage::lc_serviceable_with(
+            |i| LcView {
+                protocol: self.linecards[i].protocol,
+                components: self.linecards[i].components,
+                spare_bps: spare,
+            },
+            self.linecards.len(),
+            lc,
+            None,
+            self.eib_healthy,
+        )
     }
 
     /// The router as `origin` believes it to be at time `now`: its own

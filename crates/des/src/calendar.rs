@@ -39,10 +39,14 @@
 //! Bucket count doubles when occupancy exceeds two events per bucket
 //! and halves below one per four buckets (the wide hysteresis band
 //! keeps an oscillating population from thrashing resizes); each
-//! rebuild re-estimates the
-//! bucket width from the inter-event gaps of a head sample, so the
-//! calendar tracks the event density as a simulation moves between
-//! regimes (warmup, steady state, drain).
+//! rebuild re-estimates the bucket width from the inter-event gaps of
+//! a bounded sample, so the calendar tracks the event density as a
+//! simulation moves between regimes (warmup, steady state, drain).
+//! Resizes reuse retained storage (a scratch buffer plus the physical
+//! bucket vector, which never shrinks) so a steady-state resize
+//! performs no heap allocation — the parallel network engine runs one
+//! small calendar per logical process and crosses resize boundaries
+//! every few barrier windows.
 
 use std::collections::VecDeque;
 
@@ -90,8 +94,16 @@ struct Hint {
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct CalendarQueue<T> {
+    /// Physical bucket storage. Only the first `mask + 1` buckets are
+    /// logically active; the tail (left over from a shrink) stays
+    /// allocated-but-empty so the next grow refills capacity instead
+    /// of allocating. A population that oscillates across a resize
+    /// boundary therefore re-files entries through retained storage —
+    /// zero heap traffic — rather than reallocating every bucket (the
+    /// parallel network engine runs thousands of small per-LP queues
+    /// whose event counts swing every barrier window).
     buckets: Vec<VecDeque<Entry<T>>>,
-    /// `buckets.len() - 1`; bucket count is always a power of two.
+    /// Logical bucket count minus one; always a power of two minus one.
     mask: usize,
     width: f64,
     inv_width: f64,
@@ -108,6 +120,9 @@ pub struct CalendarQueue<T> {
     /// it refills only from pushes, not from the buckets — a drain of
     /// bucketed events runs on the hint path instead.
     stage: Option<Entry<T>>,
+    /// Scratch buffer for resize re-filing, retained across resizes so
+    /// a steady-state resize performs no heap allocation.
+    resize_scratch: Vec<Entry<T>>,
 }
 
 impl<T> Default for CalendarQueue<T> {
@@ -128,6 +143,7 @@ impl<T> CalendarQueue<T> {
             cur_vb: 0,
             hint: None,
             stage: None,
+            resize_scratch: Vec::new(),
         }
     }
 
@@ -143,11 +159,12 @@ impl<T> CalendarQueue<T> {
         self.len == 0 && self.stage.is_none()
     }
 
-    /// Calendar buckets currently allocated. Exposed for telemetry:
+    /// Calendar buckets currently in use (the logical count; physical
+    /// storage may exceed this after a shrink). Exposed for telemetry:
     /// resizes under load show up as a growing bucket count.
     #[inline]
     pub fn bucket_count(&self) -> usize {
-        self.buckets.len()
+        self.mask + 1
     }
 
     #[inline]
@@ -195,8 +212,9 @@ impl<T> CalendarQueue<T> {
 
     /// File an entry into the bucket array (`entry.vb` is recomputed).
     fn bucket_push(&mut self, mut entry: Entry<T>) {
-        if self.len + 1 > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
-            self.resize(self.buckets.len() * 2);
+        let n = self.mask + 1;
+        if self.len + 1 > 2 * n && n < MAX_BUCKETS {
+            self.resize(n * 2);
         }
         let (time, seq) = (entry.time, entry.seq);
         let vb = self.vb_of(time);
@@ -293,6 +311,24 @@ impl<T> CalendarQueue<T> {
         }
     }
 
+    /// Visit every queued item mutably, in unspecified order, without
+    /// disturbing keys or queue structure. The parallel network engine
+    /// uses this at window barriers to rewrite the provenance-arena
+    /// handles held by pending events when the arena compacts; any
+    /// mutation that left the `(time, seq)` order-relevant state of
+    /// the *item* inconsistent with its key is the caller's problem —
+    /// keys themselves are not touched.
+    pub fn for_each_item_mut(&mut self, mut f: impl FnMut(&mut T)) {
+        if let Some(s) = &mut self.stage {
+            f(&mut s.item);
+        }
+        for bucket in &mut self.buckets {
+            for e in bucket.iter_mut() {
+                f(&mut e.item);
+            }
+        }
+    }
+
     /// Time of the minimum-keyed event without removing it.
     pub fn min_time(&mut self) -> Option<f64> {
         if let Some(s) = &self.stage {
@@ -329,8 +365,9 @@ impl<T> CalendarQueue<T> {
         // (e.g. a fabric slot's delivery batch draining each slot time)
         // does not thrash grow/shrink resizes — and their allocations —
         // at a steady rate.
-        if self.len < self.buckets.len() / 4 && self.buckets.len() > MIN_BUCKETS {
-            self.resize(self.buckets.len() / 2);
+        let n = self.mask + 1;
+        if self.len < n / 4 && n > MIN_BUCKETS {
+            self.resize(n / 2);
         }
         (e.time, e.seq, e.item)
     }
@@ -361,10 +398,19 @@ impl<T> CalendarQueue<T> {
         Some(self.take_front(idx, vb))
     }
 
-    /// Rebuild with `new_n` buckets, re-estimating the bucket width
-    /// from the current event population.
+    /// Rebuild with `new_n` logical buckets, re-estimating the bucket
+    /// width from the current event population.
+    ///
+    /// Allocation-free in steady state: entries drain into a retained
+    /// scratch buffer, the physical bucket vector only ever grows (a
+    /// shrink leaves the tail buckets allocated-but-empty for the next
+    /// grow to reuse), and the width estimate samples onto the stack.
+    /// Resizing can never change pop order — that is a pure function
+    /// of the `(time, seq)` keys — so this is byte-identity-safe.
     fn resize(&mut self, new_n: usize) {
-        let mut all: Vec<Entry<T>> = Vec::with_capacity(self.len);
+        let mut all = std::mem::take(&mut self.resize_scratch);
+        all.clear();
+        all.reserve(self.len);
         for b in &mut self.buckets {
             all.extend(b.drain(..));
         }
@@ -372,7 +418,9 @@ impl<T> CalendarQueue<T> {
             self.width = w;
             self.inv_width = 1.0 / w;
         }
-        self.buckets = (0..new_n).map(|_| VecDeque::new()).collect();
+        if self.buckets.len() < new_n {
+            self.buckets.resize_with(new_n, VecDeque::new);
+        }
         self.mask = new_n - 1;
         let mut min: Option<(f64, u64)> = None;
         for e in &all {
@@ -381,7 +429,7 @@ impl<T> CalendarQueue<T> {
                 min = Some(key);
             }
         }
-        for mut e in all {
+        for mut e in all.drain(..) {
             e.vb = self.vb_of(e.time);
             let idx = e.vb as usize & self.mask;
             let bucket = &mut self.buckets[idx];
@@ -405,22 +453,26 @@ impl<T> CalendarQueue<T> {
             }
         });
         self.cur_vb = self.hint.map_or(0, |h| h.vb);
+        self.resize_scratch = all;
     }
 }
 
-/// Bucket width from the mean inter-event gap of a head sample, or
-/// `None` when the population gives no signal (fewer than two events,
-/// or every sampled gap zero).
+/// Bucket width from the mean inter-event gap of a sample, or `None`
+/// when the population gives no signal (fewer than two events, or
+/// every sampled gap zero). The sample is the first `WIDTH_SAMPLE`
+/// entries in bucket-drain order — an arbitrary but representative
+/// slice of the population, chosen over a smallest-k selection so the
+/// estimate fits in a stack buffer and resize stays allocation-free.
 fn estimate_width<T>(all: &[Entry<T>]) -> Option<f64> {
     if all.len() < 2 {
         return None;
     }
-    let mut times: Vec<f64> = all.iter().map(|e| e.time).collect();
-    let sample = WIDTH_SAMPLE.min(times.len());
-    if times.len() > sample {
-        times.select_nth_unstable_by(sample - 1, f64::total_cmp);
-        times.truncate(sample);
+    let sample = WIDTH_SAMPLE.min(all.len());
+    let mut buf = [0.0f64; WIDTH_SAMPLE];
+    for (slot, e) in buf.iter_mut().zip(all.iter()) {
+        *slot = e.time;
     }
+    let times = &mut buf[..sample];
     times.sort_unstable_by(f64::total_cmp);
     let mut sum = 0.0;
     let mut n = 0u32;
@@ -572,6 +624,25 @@ mod tests {
         assert_eq!(q.pop().map(|(t, _, _)| t), Some(100.0));
         q.push(50.0, 64, 64);
         assert_eq!(q.pop(), Some((50.0, 64, 64)));
+    }
+
+    #[test]
+    fn for_each_item_mut_visits_everything_and_preserves_order() {
+        let mut q = CalendarQueue::new();
+        // One staged event plus enough bucketed ones to force resizes.
+        for s in 0..300u64 {
+            q.push(s as f64 * 0.25, s, s);
+        }
+        let mut seen = Vec::new();
+        q.for_each_item_mut(|v| {
+            seen.push(*v);
+            *v += 1000;
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, (0..300).collect::<Vec<u64>>());
+        for want in 0..300u64 {
+            assert_eq!(q.pop(), Some((want as f64 * 0.25, want, want + 1000)));
+        }
     }
 
     #[test]

@@ -16,6 +16,14 @@
 //! rounding at the boundary — while still delivering every message
 //! one barrier before the window that could consume it.
 //!
+//! `L` is a *global minimum*: per-LP-pair lookaheads may be larger
+//! (heterogeneous link latencies), in which case those messages are
+//! simply delivered **early** — more than one barrier before the
+//! window that could consume them. Early delivery is always safe
+//! because [`LogicalProcess::accept`] enqueues the message at its own
+//! embedded timestamp; the consuming window pops it no sooner either
+//! way.
+//!
 //! Determinism contract (the same discipline the campaign worker pool
 //! and telemetry merge already follow): thread count never changes a
 //! byte of the result. Three rules enforce it:
@@ -35,6 +43,18 @@
 //! times are continuous random variables — every simulation in this
 //! workspace — hit that case with probability zero. See
 //! `DESIGN.md` for the full fine print.
+//!
+//! ## Payload sidecar
+//!
+//! Messages often reference bulk data (the network engine's
+//! provenance chains) that would force a heap allocation per message
+//! if carried inline. Each LP therefore publishes one
+//! [`LogicalProcess::Payload`] value per window alongside its
+//! messages — filled through [`Outbox::payload`] during the window,
+//! readable (shared) by every receiver's `accept` at the barrier, and
+//! handed back to its owner at the next window for reuse. Steady
+//! state, the payload buffers cycle without allocating. Models that
+//! don't need the sidecar use `Payload = ()`.
 
 use std::sync::{Barrier, Mutex};
 
@@ -45,26 +65,41 @@ pub trait LogicalProcess: Send {
     /// the executor never inspects it).
     type Cross: Send;
 
+    /// Bulk data published once per LP per window alongside its
+    /// messages (see the module docs). `Default` seeds the per-LP
+    /// buffers; the executor recycles them across windows.
+    type Payload: Send + Default;
+
     /// Advance local state, handling every pending local event with
     /// time ≤ `window_end`. Messages for other LPs — which must be
     /// timestamped at least one lookahead after the emitting event —
-    /// go into `out`.
-    fn advance_window(&mut self, window_end: f64, out: &mut Outbox<Self::Cross>);
+    /// go into `out`; any bulk data they reference goes into
+    /// [`Outbox::payload`] (stale contents from this LP's previous
+    /// window — clear before use).
+    fn advance_window(&mut self, window_end: f64, out: &mut Outbox<Self::Cross, Self::Payload>);
 
     /// Absorb one cross message (enqueue it as a local future event).
     /// Called only between windows, in deterministic `(source,
-    /// emission-index)` order.
-    fn accept(&mut self, msg: Self::Cross);
+    /// emission-index)` order; `payload` is the sending LP's sidecar
+    /// for the window that emitted `msg`.
+    fn accept(&mut self, msg: Self::Cross, payload: &Self::Payload);
 }
 
 /// Collector for cross-LP messages emitted during one LP's window.
-pub struct Outbox<C> {
+pub struct Outbox<C, P> {
     events: Vec<(u32, C)>,
+    /// The emitting LP's payload sidecar for this window (recycled
+    /// storage from its own earlier windows; contents are stale until
+    /// the LP resets them).
+    pub payload: P,
 }
 
-impl<C> Outbox<C> {
+impl<C, P: Default> Outbox<C, P> {
     fn new() -> Self {
-        Outbox { events: Vec::new() }
+        Outbox {
+            events: Vec::new(),
+            payload: P::default(),
+        }
     }
 
     /// Emit `msg` toward LP `dst`.
@@ -106,7 +141,12 @@ pub struct WindowReport {
 ///
 /// The result is byte-identical at every `threads` value (see the
 /// module docs for the contract). `threads` is clamped to
-/// `[1, lps.len()]`.
+/// `[1, lps.len()]`, and — because the contract makes the worker
+/// count unobservable — also to the host's available parallelism:
+/// spawning more workers than cores adds barrier-scheduling overhead
+/// (two futex convoys per window) without any concurrency in return,
+/// so an oversubscribed request silently runs at the widest useful
+/// width instead.
 ///
 /// # Panics
 /// Panics if `lookahead` or `horizon` is non-positive or non-finite.
@@ -135,7 +175,10 @@ pub fn run_windows<L: LogicalProcess>(
     // Enough windows that the last boundary clamps to exactly
     // `horizon`; at least one so t = 0 events run even at horizon 0.
     let n_windows = ((horizon / width).ceil() as u64).max(1);
-    let threads = threads.clamp(1, lps.len());
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(usize::MAX);
+    let threads = threads.clamp(1, lps.len()).min(cores);
     let n_lps = lps.len();
 
     // Contiguous LP ranges per thread (the shape is unobservable —
@@ -153,31 +196,52 @@ pub fn run_windows<L: LogicalProcess>(
     let barrier = Barrier::new(threads);
     let slots: Vec<Mutex<Vec<Tagged<L::Cross>>>> =
         (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    // One payload slot per LP: written by its owner in phase 1, read
+    // (shared, under the per-slot lock) by receivers in phase 2, and
+    // reclaimed by the owner at its next phase 1 — so each buffer
+    // cycles owner → readers → owner without ever allocating again.
+    let payloads: Vec<Mutex<L::Payload>> = (0..n_lps)
+        .map(|_| Mutex::new(L::Payload::default()))
+        .collect();
     let crossings = Mutex::new(0u64);
 
     std::thread::scope(|scope| {
         for (tid, (base, chunk)) in chunks.into_iter().enumerate() {
             let barrier = &barrier;
             let slots = &slots;
+            let payloads = &payloads;
             let crossings = &crossings;
             scope.spawn(move || {
                 let mut outbox = Outbox::new();
                 let mut published = 0u64;
+                // Staging buffers live across windows: steady state,
+                // a window reuses the high-water capacity of earlier
+                // ones instead of reallocating per barrier.
+                let mut outgoing: Vec<Tagged<L::Cross>> = Vec::new();
+                let mut incoming: Vec<Tagged<L::Cross>> = Vec::new();
                 for k in 0..n_windows {
                     let end = (width * (k + 1) as f64).min(horizon);
                     // Phase 1: every LP in this chunk advances through
                     // the window, tagging emissions with (src, idx).
-                    let mut outgoing: Vec<Tagged<L::Cross>> = Vec::new();
                     for (j, lp) in chunk.iter_mut().enumerate() {
+                        let g = base + j;
+                        {
+                            let mut slot = payloads[g].lock().expect("payload slot lock");
+                            outbox.payload = std::mem::take(&mut *slot);
+                        }
                         lp.advance_window(end, &mut outbox);
                         for (idx, (dst, msg)) in outbox.events.drain(..).enumerate() {
                             debug_assert!((dst as usize) < n_lps, "outbox dst {dst} out of range");
                             outgoing.push(Tagged {
                                 dst,
-                                src: (base + j) as u32,
+                                src: g as u32,
                                 idx: idx as u32,
                                 msg,
                             });
+                        }
+                        {
+                            let mut slot = payloads[g].lock().expect("payload slot lock");
+                            *slot = std::mem::take(&mut outbox.payload);
                         }
                     }
                     published += outgoing.len() as u64;
@@ -190,10 +254,11 @@ pub fn run_windows<L: LogicalProcess>(
                     barrier.wait();
                     // Phase 2: claim the messages addressed to this
                     // chunk and apply them in (dst, src, idx) order —
-                    // a key no thread schedule can perturb.
+                    // a key no thread schedule can perturb. Payload
+                    // slots are only read in this phase; owners
+                    // reclaim them after the next barrier.
                     let lo = base as u32;
                     let hi = (base + chunk.len()) as u32;
-                    let mut incoming: Vec<Tagged<L::Cross>> = Vec::new();
                     for slot in slots.iter() {
                         let mut guard = slot.lock().expect("outbox slot lock");
                         let mut i = 0;
@@ -205,9 +270,14 @@ pub fn run_windows<L: LogicalProcess>(
                             }
                         }
                     }
-                    incoming.sort_by_key(|t| (t.dst, t.src, t.idx));
-                    for t in incoming {
-                        chunk[t.dst as usize - base].accept(t.msg);
+                    // Unstable sort: the key is unique (one idx per
+                    // src emission), so the order is total — and the
+                    // unstable algorithm never allocates, keeping the
+                    // steady-state barrier heap-free.
+                    incoming.sort_unstable_by_key(|t| (t.dst, t.src, t.idx));
+                    for t in incoming.drain(..) {
+                        let payload = payloads[t.src as usize].lock().expect("payload slot lock");
+                        chunk[t.dst as usize - base].accept(t.msg, &payload);
                     }
                     // Phase 3: nobody republishes into a slot another
                     // thread may still be scanning.
@@ -261,8 +331,9 @@ mod tests {
 
     impl LogicalProcess for RingNode {
         type Cross = (f64, u64);
+        type Payload = ();
 
-        fn advance_window(&mut self, window_end: f64, out: &mut Outbox<(f64, u64)>) {
+        fn advance_window(&mut self, window_end: f64, out: &mut Outbox<(f64, u64), ()>) {
             while let Some((t, _seq, token)) = self.queue.pop_at_or_before(window_end) {
                 let order = self.log.len() as u64;
                 self.log.push((token, t, order));
@@ -270,7 +341,7 @@ mod tests {
             }
         }
 
-        fn accept(&mut self, (t, token): (f64, u64)) {
+        fn accept(&mut self, (t, token): (f64, u64), _payload: &()) {
             self.push(t, token);
         }
     }
@@ -323,7 +394,8 @@ mod tests {
         }
         impl LogicalProcess for Sink {
             type Cross = (f64, u32);
-            fn advance_window(&mut self, end: f64, out: &mut Outbox<(f64, u32)>) {
+            type Payload = ();
+            fn advance_window(&mut self, end: f64, out: &mut Outbox<(f64, u32), ()>) {
                 if !self.fired && end >= 0.0 {
                     self.fired = true;
                     if self.id != 0 {
@@ -334,7 +406,7 @@ mod tests {
                     self.seen.push(src);
                 }
             }
-            fn accept(&mut self, (t, src): (f64, u32)) {
+            fn accept(&mut self, (t, src): (f64, u32), _payload: &()) {
                 let seq = self.seq;
                 self.seq += 1;
                 self.queue.push(t, seq, src);
@@ -352,6 +424,60 @@ mod tests {
                 .collect();
             run_windows(&mut lps, 2e-3, 10e-3, threads);
             assert_eq!(lps[0].seen, vec![1, 2, 3, 4], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn payload_sidecar_travels_with_messages_and_recycles() {
+        // Each node publishes a window payload holding the squares of
+        // the tokens it forwarded; receivers check the referenced slot
+        // matches the message. Exercises owner → reader → owner
+        // buffer cycling across many windows and thread counts.
+        struct PayloadNode {
+            id: u32,
+            n: u32,
+            queue: CalendarQueue<u64>,
+            seq: u64,
+            checked: u64,
+        }
+        impl LogicalProcess for PayloadNode {
+            type Cross = (f64, u64, u32); // (time, token, payload index)
+            type Payload = Vec<u64>;
+            fn advance_window(&mut self, end: f64, out: &mut Outbox<Self::Cross, Vec<u64>>) {
+                out.payload.clear();
+                while let Some((t, _s, token)) = self.queue.pop_at_or_before(end) {
+                    let idx = out.payload.len() as u32;
+                    out.payload.push(token * token);
+                    out.send((self.id + 1) % self.n, (t + 1e-3, token, idx));
+                }
+            }
+            fn accept(&mut self, (t, token, idx): Self::Cross, payload: &Vec<u64>) {
+                assert_eq!(payload[idx as usize], token * token, "payload mismatch");
+                self.checked += 1;
+                let seq = self.seq;
+                self.seq += 1;
+                self.queue.push(t, seq, token);
+            }
+        }
+        for threads in [1, 2, 4] {
+            let mut lps: Vec<PayloadNode> = (0..4)
+                .map(|id| PayloadNode {
+                    id,
+                    n: 4,
+                    queue: CalendarQueue::new(),
+                    seq: 0,
+                    checked: 0,
+                })
+                .collect();
+            for tok in 0..6u64 {
+                let seq = lps[(tok % 4) as usize].seq;
+                lps[(tok % 4) as usize].seq = seq + 1;
+                let t = tok as f64 * 1e-4;
+                lps[(tok % 4) as usize].queue.push(t, seq, tok);
+            }
+            run_windows(&mut lps, 1e-3, 30e-3, threads);
+            let total: u64 = lps.iter().map(|lp| lp.checked).sum();
+            assert!(total > 100, "threads={threads}: only {total} checks");
         }
     }
 

@@ -17,9 +17,11 @@
 //!   routers advanced lazily on one shared DES clock, multi-hop flows,
 //!   per-node fault timelines, and composed drop accounting.
 //! * [`pdes`] — conservative parallel execution of the same model:
-//!   per-router logical processes on barrier windows (lookahead = link
-//!   latency), byte-identical to the serial engine at any thread
-//!   count (`NetConfig::sim_threads`).
+//!   per-router logical processes on barrier windows (lookahead = the
+//!   minimum attached link latency), byte-identical to the serial
+//!   engine at any thread count (`NetConfig::sim_threads`).
+//! * [`chain`] — the interned parent-pointer provenance arena behind
+//!   the parallel engine's tie ordering (zero allocations per hop).
 //! * [`stats`] — network metrics: packet conservation, end-to-end
 //!   delivery ratio, per-flow availability.
 //! * [`seeds`] — the per-node SplitMix64 seed coordinate keeping N
@@ -33,6 +35,7 @@
 
 #![warn(missing_docs)]
 
+pub mod chain;
 pub mod engine;
 pub mod link;
 pub mod net;

@@ -6,12 +6,20 @@
 //! `bytes·8 / bandwidth` later. If that would queue the packet more
 //! than `max_backlog_s` behind real time the link is congested and the
 //! packet is dropped — a fluid stand-in for a finite egress buffer
-//! that keeps per-link state to two scalars.
+//! that keeps per-link state to three scalars.
+//!
+//! Propagation latency lives **per directed link** (seeded uniformly
+//! from [`LinkConfig::latency_s`], overridable via
+//! [`NetworkSim::set_link_latency`](crate::net::NetworkSim::set_link_latency)),
+//! so heterogeneous topologies — a slow WAN edge on a fast mesh — are
+//! expressible; the parallel engine derives its conservative lookahead
+//! from the *minimum* attached latency ([`LinkArena::min_latency`]).
 
 /// Link parameters (uniform across a topology).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
-    /// One-way propagation delay, seconds.
+    /// One-way propagation delay, seconds (the uniform default; see
+    /// the module docs for per-link overrides).
     pub latency_s: f64,
     /// Serialization rate, bits per second.
     pub bandwidth_bps: f64,
@@ -35,16 +43,15 @@ impl Default for LinkConfig {
 pub struct LinkState {
     /// Serialization queue drains at this absolute time.
     pub busy_until: f64,
+    /// This direction's propagation latency, seconds.
+    pub latency_s: f64,
     /// Both directions of a cable fail together; each carries a copy.
     pub up: bool,
 }
 
 impl Default for LinkState {
     fn default() -> Self {
-        LinkState {
-            busy_until: 0.0,
-            up: true,
-        }
+        LinkState::new(LinkConfig::default().latency_s)
     }
 }
 
@@ -63,6 +70,19 @@ pub enum LinkOffer {
 }
 
 impl LinkState {
+    /// An idle, up link with the given propagation latency.
+    pub fn new(latency_s: f64) -> Self {
+        assert!(
+            latency_s.is_finite() && latency_s > 0.0,
+            "link latency must be positive and finite, got {latency_s}"
+        );
+        LinkState {
+            busy_until: 0.0,
+            latency_s,
+            up: true,
+        }
+    }
+
     /// Set the up/down state. A down → up transition clears
     /// `busy_until`: the serialization queue that was pending when the
     /// cable was cut died with the cut, so a repaired link starts with
@@ -87,8 +107,94 @@ impl LinkState {
         }
         self.busy_until = finish;
         LinkOffer::Sent {
-            delay_s: finish - now + cfg.latency_s,
+            delay_s: finish - now + self.latency_s,
         }
+    }
+}
+
+/// Every directed link of a network in one flat slab, indexed by
+/// `(node, port)` through a per-node offset table — one contiguous
+/// allocation instead of N inner `Vec`s, and one place to answer
+/// "what is the minimum attached latency?" for the parallel engine's
+/// adaptive window width.
+#[derive(Debug, Clone)]
+pub struct LinkArena {
+    states: Vec<LinkState>,
+    /// `offsets[n]..offsets[n+1]` is node `n`'s port range.
+    offsets: Vec<u32>,
+}
+
+impl LinkArena {
+    /// Build from per-node degrees, all links idle and up at
+    /// `latency_s`.
+    pub fn from_degrees(degrees: impl Iterator<Item = usize>, latency_s: f64) -> LinkArena {
+        let mut offsets = vec![0u32];
+        let mut total = 0u32;
+        for d in degrees {
+            total += d as u32;
+            offsets.push(total);
+        }
+        LinkArena {
+            states: vec![LinkState::new(latency_s); total as usize],
+            offsets,
+        }
+    }
+
+    /// Reassemble from per-node link vectors (the parallel engine's
+    /// decomposition, inverted).
+    pub fn from_per_node(parts: impl Iterator<Item = Vec<LinkState>>) -> LinkArena {
+        let mut offsets = vec![0u32];
+        let mut states = Vec::new();
+        for p in parts {
+            states.extend_from_slice(&p);
+            offsets.push(states.len() as u32);
+        }
+        LinkArena { states, offsets }
+    }
+
+    /// Split into one owned `Vec<LinkState>` per node (consumes the
+    /// arena; used once per run by the parallel decomposition).
+    pub fn into_per_node(self) -> Vec<Vec<LinkState>> {
+        let mut out = Vec::with_capacity(self.offsets.len() - 1);
+        let mut states = self.states.into_iter();
+        for w in self.offsets.windows(2) {
+            let n = (w[1] - w[0]) as usize;
+            out.push(states.by_ref().take(n).collect());
+        }
+        out
+    }
+
+    /// Directed link out of `node` via `port`.
+    #[inline]
+    pub fn at(&self, node: u32, port: u16) -> &LinkState {
+        &self.states[self.offsets[node as usize] as usize + port as usize]
+    }
+
+    /// Mutable access to the directed link out of `node` via `port`.
+    #[inline]
+    pub fn at_mut(&mut self, node: u32, port: u16) -> &mut LinkState {
+        &mut self.states[self.offsets[node as usize] as usize + port as usize]
+    }
+
+    /// The minimum propagation latency over every directed link, or
+    /// `None` for a linkless (single-node) network. This is the
+    /// conservative lookahead: every cross-router handoff charges at
+    /// least this much propagation.
+    pub fn min_latency(&self) -> Option<f64> {
+        self.states
+            .iter()
+            .map(|s| s.latency_s)
+            .min_by(f64::total_cmp)
+    }
+
+    /// Total directed links.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True when no links exist.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
     }
 }
 
@@ -103,7 +209,7 @@ mod tests {
             bandwidth_bps: 8e9, // 1 ns per byte
             max_backlog_s: 2e-6,
         };
-        let mut l = LinkState::default();
+        let mut l = LinkState::new(cfg.latency_s);
         // 1000 B = 1 µs of wire time.
         assert_eq!(l.offer(&cfg, 0.0, 1000), LinkOffer::Sent { delay_s: 2e-6 });
         // Second packet queues behind the first: 2 µs backlog, at limit.
@@ -117,13 +223,28 @@ mod tests {
     }
 
     #[test]
+    fn per_link_latency_overrides_config() {
+        let cfg = LinkConfig {
+            latency_s: 1e-6,
+            bandwidth_bps: 8e9,
+            max_backlog_s: 2e-6,
+        };
+        // The state's own latency, not the config's, prices the hop.
+        let mut slow = LinkState::new(50e-6);
+        assert_eq!(
+            slow.offer(&cfg, 0.0, 1000),
+            LinkOffer::Sent { delay_s: 51e-6 }
+        );
+    }
+
+    #[test]
     fn repair_clears_precut_backlog() {
         let cfg = LinkConfig {
             latency_s: 1e-6,
             bandwidth_bps: 8e9, // 1 ns per byte
             max_backlog_s: 2e-6,
         };
-        let mut l = LinkState::default();
+        let mut l = LinkState::new(cfg.latency_s);
         // Two 1000 B packets at t = 0 queue 2 µs of backlog
         // (busy_until = 2 µs), then the cable is cut while busy.
         assert!(matches!(l.offer(&cfg, 0.0, 1000), LinkOffer::Sent { .. }));
@@ -145,5 +266,23 @@ mod tests {
         l.set_up(false);
         l.set_up(false);
         assert_eq!(l.busy_until, drained);
+    }
+
+    #[test]
+    fn arena_indexes_and_round_trips() {
+        let mut arena = LinkArena::from_degrees([2usize, 3, 1].into_iter(), 10e-6);
+        assert_eq!(arena.len(), 6);
+        arena.at_mut(1, 2).set_up(false);
+        arena.at_mut(2, 0).latency_s = 99e-6;
+        assert!(!arena.at(1, 2).up);
+        assert!(arena.at(0, 0).up && arena.at(1, 1).up);
+        assert_eq!(arena.min_latency(), Some(10e-6));
+        let parts = arena.clone().into_per_node();
+        assert_eq!(parts.iter().map(Vec::len).collect::<Vec<_>>(), [2, 3, 1]);
+        assert!(!parts[1][2].up);
+        let back = LinkArena::from_per_node(parts.into_iter());
+        assert!(!back.at(1, 2).up);
+        assert_eq!(back.at(2, 0).latency_s, 99e-6);
+        assert_eq!(back.len(), 6);
     }
 }

@@ -25,7 +25,7 @@
 //! private [`node_seed`](crate::seeds::node_seed) streams; everything
 //! else is pure state. One seed ⇒ one event history.
 
-use crate::link::{LinkConfig, LinkOffer, LinkState};
+use crate::link::{LinkArena, LinkConfig, LinkOffer};
 use crate::routes::{compile_fibs, node_addr, RouteTables};
 use crate::stats::{NetDropCause, NetStats};
 use crate::topology::Topology;
@@ -168,21 +168,31 @@ impl NetScenario {
 }
 
 /// An end-to-end packet in flight.
+///
+/// Sized to ride the hot path: 24 bytes, so every event that carries
+/// one stays within half a cache line (the static asserts below pin
+/// the event payload budget).
 #[derive(Debug, Clone, Copy)]
 pub struct NetPacket {
     /// Injection-order id (also salts the destination host address).
     pub id: u64,
+    /// Injection timestamp.
+    pub injected_at: f64,
     /// Owning flow index.
     pub flow: u32,
-    /// Destination node.
-    pub dst: u32,
+    /// Destination node (node ids fit `u16`; `node_prefix` asserts
+    /// the same bound when deriving addresses).
+    pub dst: u16,
     /// Remaining hop budget.
     pub ttl: u8,
     /// Router hops taken so far.
     pub hops: u8,
-    /// Injection timestamp.
-    pub injected_at: f64,
 }
+
+// The per-event payload budget the hot-path overhaul pays for: a
+// packet is 24 bytes and no event in the serial alphabet exceeds 40.
+const _: () = assert!(std::mem::size_of::<NetPacket>() == 24);
+const _: () = assert!(std::mem::size_of::<NetEvent>() <= 40);
 
 /// Event alphabet of the network model.
 #[derive(Debug, Clone)]
@@ -225,6 +235,76 @@ pub enum NetEvent {
     },
 }
 
+/// One scripted action with every topology lookup already resolved —
+/// what [`NetworkSim::set_scenario`] compiles a [`NetAction`] into, so
+/// applying a link action on the hot timeline costs two indexed
+/// stores instead of two `port_between` binary searches.
+#[derive(Debug, Clone)]
+pub(crate) enum CompiledNetAction {
+    /// Forwarded to one router's private timeline.
+    Router {
+        /// Target router.
+        node: u32,
+        /// The single-router action to apply.
+        action: Action,
+    },
+    /// Both directions of one cable, as resolved `(node, port)` pairs.
+    Cable {
+        /// One endpoint.
+        a: u32,
+        /// `a`'s port toward `b`.
+        pa: u16,
+        /// The other endpoint.
+        b: u32,
+        /// `b`'s port toward `a`.
+        pb: u16,
+        /// New up/down state for both directions.
+        up: bool,
+    },
+}
+
+/// Resolve one [`NetAction`] against the topology (see
+/// [`CompiledNetAction`]).
+fn compile_net_action(topo: &Topology, action: NetAction) -> CompiledNetAction {
+    let port_between = |a: u32, b: u32| -> u16 {
+        topo.adj[a as usize]
+            .binary_search(&b)
+            .unwrap_or_else(|_| panic!("no link {a}-{b}")) as u16
+    };
+    match action {
+        NetAction::FailComponent { node, lc, kind } => CompiledNetAction::Router {
+            node,
+            action: Action::FailComponent(lc, kind),
+        },
+        NetAction::RepairLc { node, lc } => CompiledNetAction::Router {
+            node,
+            action: Action::RepairLc(lc),
+        },
+        NetAction::FailEib { node } => CompiledNetAction::Router {
+            node,
+            action: Action::FailEib,
+        },
+        NetAction::RepairEib { node } => CompiledNetAction::Router {
+            node,
+            action: Action::RepairEib,
+        },
+        NetAction::FailLink { a, b } => CompiledNetAction::Cable {
+            a,
+            pa: port_between(a, b),
+            b,
+            pb: port_between(b, a),
+            up: false,
+        },
+        NetAction::RepairLink { a, b } => CompiledNetAction::Cable {
+            a,
+            pa: port_between(a, b),
+            b,
+            pb: port_between(b, a),
+            up: true,
+        },
+    }
+}
+
 /// The co-simulated network.
 ///
 /// Interior fields are `pub(crate)` so [`crate::pdes`] can decompose a
@@ -236,14 +316,16 @@ pub struct NetworkSim {
     pub(crate) fibs: Vec<Dir248Fib>,
     /// Per-node router handles.
     pub(crate) nodes: Vec<RouterHandle>,
-    /// `links[n][p]`: the directed link out of node `n` port `p`.
-    pub(crate) links: Vec<Vec<LinkState>>,
+    /// Every directed link, flat, indexed by `(node, port)`.
+    pub(crate) links: LinkArena,
     /// Per-node EIB coverage budget (fluid queue drain time).
     pub(crate) covered_busy: Vec<f64>,
     /// Flows.
     pub(crate) flows: Vec<Flow>,
     /// Ordered network fault timeline.
     pub(crate) scenario: Vec<(f64, NetAction)>,
+    /// `scenario` with topology lookups resolved (same indexing).
+    pub(crate) compiled: Vec<CompiledNetAction>,
     /// Model parameters.
     pub cfg: NetConfig,
     /// Composed metrics.
@@ -285,11 +367,7 @@ impl NetworkSim {
                 )
             })
             .collect();
-        let links = topo
-            .adj
-            .iter()
-            .map(|nb| vec![LinkState::default(); nb.len()])
-            .collect();
+        let links = LinkArena::from_degrees(topo.adj.iter().map(Vec::len), cfg.link.latency_s);
         let n_flows = flows.len();
         let covered_busy = vec![0.0; topo.n_nodes()];
         NetworkSim {
@@ -300,15 +378,39 @@ impl NetworkSim {
             covered_busy,
             flows,
             scenario: Vec::new(),
+            compiled: Vec::new(),
             cfg,
             stats: NetStats::new(n_flows),
             next_pkt_id: 0,
         }
     }
 
-    /// Attach the network fault timeline (replaces any previous one).
+    /// Attach the network fault timeline (replaces any previous one),
+    /// compiling every action's topology lookups — link endpoints to
+    /// `(node, port)` pairs — once, here, instead of per application.
     pub fn set_scenario(&mut self, scenario: &NetScenario) {
         self.scenario = scenario.ordered();
+        self.compiled = self
+            .scenario
+            .iter()
+            .map(|&(_, a)| compile_net_action(&self.topo, a))
+            .collect();
+    }
+
+    /// Override the propagation latency of the cable between `a` and
+    /// `b` (both directions). The parallel engine's window width
+    /// adapts to the minimum attached latency, so slowing some links
+    /// down never affects conservative safety; speeding links up
+    /// tightens the windows automatically.
+    pub fn set_link_latency(&mut self, a: u32, b: u32, latency_s: f64) {
+        assert!(
+            latency_s.is_finite() && latency_s > 0.0,
+            "link latency must be positive and finite, got {latency_s}"
+        );
+        let pab = self.port_between(a, b);
+        let pba = self.port_between(b, a);
+        self.links.at_mut(a, pab).latency_s = latency_s;
+        self.links.at_mut(b, pba).latency_s = latency_s;
     }
 
     /// Attach a per-router fault timeline (e.g. sampled from a
@@ -355,39 +457,19 @@ impl NetworkSim {
             .unwrap_or_else(|_| panic!("no link {a}-{b}")) as u16
     }
 
-    fn apply_net_action(&mut self, action: NetAction, now: f64) {
-        match action {
-            NetAction::FailComponent { node, lc, kind } => {
+    /// Apply scripted action `idx` (precompiled — no topology searches
+    /// on the event path; cable endpoints apply `a` then `b`, the same
+    /// order the uncompiled path always used).
+    fn apply_net_action(&mut self, idx: usize, now: f64) {
+        match self.compiled[idx].clone() {
+            CompiledNetAction::Router { node, action } => {
                 let h = &mut self.nodes[node as usize];
                 h.advance_to(now);
-                h.apply(&Action::FailComponent(lc, kind));
+                h.apply(&action);
             }
-            NetAction::RepairLc { node, lc } => {
-                let h = &mut self.nodes[node as usize];
-                h.advance_to(now);
-                h.apply(&Action::RepairLc(lc));
-            }
-            NetAction::FailEib { node } => {
-                let h = &mut self.nodes[node as usize];
-                h.advance_to(now);
-                h.apply(&Action::FailEib);
-            }
-            NetAction::RepairEib { node } => {
-                let h = &mut self.nodes[node as usize];
-                h.advance_to(now);
-                h.apply(&Action::RepairEib);
-            }
-            NetAction::FailLink { a, b } => {
-                let pab = self.port_between(a, b) as usize;
-                let pba = self.port_between(b, a) as usize;
-                self.links[a as usize][pab].set_up(false);
-                self.links[b as usize][pba].set_up(false);
-            }
-            NetAction::RepairLink { a, b } => {
-                let pab = self.port_between(a, b) as usize;
-                let pba = self.port_between(b, a) as usize;
-                self.links[a as usize][pab].set_up(true);
-                self.links[b as usize][pba].set_up(true);
+            CompiledNetAction::Cable { a, pa, b, pb, up } => {
+                self.links.at_mut(a, pa).set_up(up);
+                self.links.at_mut(b, pb).set_up(up);
             }
         }
     }
@@ -470,7 +552,7 @@ pub(crate) fn hop(
     if !router.lc_serviceable(in_port) {
         return HopOutcome::Drop(NetDropCause::IngressDown);
     }
-    let Some(out_port) = fib.lookup(node_addr(pkt.dst, pkt.id)) else {
+    let Some(out_port) = fib.lookup(node_addr(pkt.dst as u32, pkt.id)) else {
         return HopOutcome::Drop(NetDropCause::NoRoute);
     };
     if !router.lc_serviceable(out_port) {
@@ -491,7 +573,7 @@ pub(crate) fn hop(
         *covered_busy = finish;
         delay += finish - now;
     }
-    if node == pkt.dst {
+    if node == pkt.dst as u32 {
         HopOutcome::Deliver { delay_s: delay }
     } else {
         if pkt.ttl == 0 {
@@ -528,11 +610,11 @@ impl Model for NetworkSim {
                 ctx.schedule(dt, NetEvent::FlowNext { flow });
                 let pkt = NetPacket {
                     id: self.next_pkt_id,
+                    injected_at: ctx.now(),
                     flow,
-                    dst: f.dst,
+                    dst: f.dst as u16,
                     ttl: self.cfg.ttl,
                     hops: 0,
-                    injected_at: ctx.now(),
                 };
                 self.next_pkt_id += 1;
                 self.stats.inject(flow);
@@ -545,7 +627,7 @@ impl Model for NetworkSim {
                 node,
                 out_port,
             } => {
-                let offer = self.links[node as usize][out_port as usize].offer(
+                let offer = self.links.at_mut(node, out_port).offer(
                     &self.cfg.link,
                     ctx.now(),
                     self.cfg.packet_bytes,
@@ -571,10 +653,7 @@ impl Model for NetworkSim {
                 self.stats
                     .deliver(pkt.flow, ctx.now() - pkt.injected_at, pkt.hops as u32);
             }
-            NetEvent::Act { idx } => {
-                let (_, action) = self.scenario[idx as usize];
-                self.apply_net_action(action, ctx.now());
-            }
+            NetEvent::Act { idx } => self.apply_net_action(idx as usize, ctx.now()),
         }
     }
 }
@@ -682,6 +761,58 @@ mod tests {
         assert!(
             s.flow_availability(0.99) <= 0.5,
             "flow 0 must be unavailable"
+        );
+    }
+
+    #[test]
+    fn scenario_precompile_resolves_ports_and_cut_then_repair_is_stable() {
+        // The cut-then-repair timeline that used to run through
+        // per-action `port_between` searches: the compiled actions
+        // must resolve to the same (node, port) pairs the topology
+        // defines, and the run must produce identical stats every
+        // time (and drops only while the cable is down).
+        let sc = NetScenario::new()
+            .at(2e-3, NetAction::FailLink { a: 1, b: 2 })
+            .at(4e-3, NetAction::RepairLink { a: 1, b: 2 });
+        let run = || {
+            let mut net = small_net(ArchKind::Bdr);
+            net.set_scenario(&sc);
+            for (c, want_up) in net.compiled.iter().zip([false, true]) {
+                match *c {
+                    CompiledNetAction::Cable { a, pa, b, pb, up } => {
+                        assert_eq!((a, b, up), (1, 2, want_up));
+                        assert_eq!(net.topo.adj[a as usize][pa as usize], b);
+                        assert_eq!(net.topo.adj[b as usize][pb as usize], a);
+                        assert_eq!(net.topo.rev_port[a as usize][pa as usize], pb);
+                    }
+                    ref other => panic!("expected a compiled cable action, got {other:?}"),
+                }
+            }
+            let mut sim = net.simulation(7);
+            sim.run_until(10e-3);
+            let s = &sim.model().stats;
+            assert!(s.conserved());
+            (
+                s.injected,
+                s.delivered,
+                s.drops,
+                s.latency.mean(),
+                s.hops.mean(),
+            )
+        };
+        let first = run();
+        assert_eq!(first, run(), "cut-then-repair must be reproducible");
+        // Flow 1 (6→2) transits 1→2 under lowest-id routing: the cut
+        // window drops on LinkDown, and repair restores delivery (more
+        // delivered than a run where the cut never heals).
+        assert!(first.2[NetDropCause::LinkDown.index()] > 0, "{first:?}");
+        let mut unhealed = small_net(ArchKind::Bdr);
+        unhealed.set_scenario(&NetScenario::new().at(2e-3, NetAction::FailLink { a: 1, b: 2 }));
+        let mut sim = unhealed.simulation(7);
+        sim.run_until(10e-3);
+        assert!(
+            first.1 > sim.model().stats.delivered,
+            "repair must restore deliveries"
         );
     }
 

@@ -8,22 +8,28 @@
 //! its [`RouterHandle`], FIB, EIB coverage budget, and the *outgoing*
 //! directions of its links. The only interaction between routers is a
 //! `Forward` → link → `Transit`-at-peer handoff, and the link model
-//! charges at least [`LinkConfig::latency_s`](crate::link::LinkConfig)
-//! of propagation on every such handoff — a static lookahead known
-//! before the run. So each router becomes one [`LogicalProcess`] with
-//! its own calendar queue, and cross-router packets travel as
-//! [`NetCross`] messages merged at barrier windows.
+//! charges at least that link's propagation latency on every such
+//! handoff. The conservative lookahead is therefore the **minimum
+//! latency over every attached link** ([`LinkArena::min_latency`]) —
+//! known before the run, and adaptive: heterogeneous topologies get
+//! the widest window their slowest-common-denominator link permits,
+//! while messages over longer-latency links are simply delivered
+//! early (always safe — see the safety note in `dra_des::pdes`). Each
+//! router becomes one [`LogicalProcess`] with its own calendar queue,
+//! and cross-router packets travel as [`NetCross`] messages merged at
+//! barrier windows.
 //!
 //! ## Replaying the serial arrival stream
 //!
 //! The serial model's only shared-RNG draws are flow inter-arrival
 //! times, and a `FlowNext` event's time depends only on previous
-//! draws — never on packet forwarding. [`precompute_arrivals`] replays
-//! the serial kernel's exact draw order (a (time, sequence) total
-//! order over `FlowNext` events alone) on the same seeded RNG, turning
-//! the whole arrival timeline into data before any LP starts. Each
-//! injection becomes a pre-inserted `Transit` at the source LP with
-//! the bit-exact serial timestamp and packet id.
+//! draws — never on packet forwarding. [`precompute_arrivals_into`]
+//! replays the serial kernel's exact draw order (a (time, sequence)
+//! total order over `FlowNext` events alone) on the same seeded RNG,
+//! turning the whole arrival timeline into data before any LP starts
+//! (into buffers pooled across replications). Each injection becomes
+//! a pre-inserted `Transit` at the source LP with the bit-exact
+//! serial timestamp and packet id.
 //!
 //! ## Tie order: the provenance chain
 //!
@@ -42,14 +48,30 @@
 //! *provenance*: an event's sequence number orders it after its
 //! scheduler, so two tied events compare as their schedulers' pop
 //! times, recursively — i.e. as their ancestor chains of pop times,
-//! most recent first. Each packet carries that chain (one `f64` pushed
-//! per event popped on its behalf); each LP pops same-time batches and
-//! sorts them by reversed-chain order before touching any state.
-//! Chains bottom out at injections (`FlowNext` provenance) and
-//! scripted actions (`Start` provenance), whose times are fresh RNG
-//! draws or scenario constants with no shared lineage — only there
-//! does the tie-break fall back to insertion order, and only there is
-//! the contract's measure-zero fine print (documented in DESIGN.md).
+//! most recent first. Each packet carries that chain as one `u32`
+//! handle into a per-LP [`ChainArena`] of `(pop_time, parent)` nodes
+//! (extended by one node per event popped on its behalf — no heap
+//! allocation per hop); each LP pops same-time batches and sorts them
+//! by the arena's parent-pointer walk — the identical
+//! most-recent-first order the retained `Vec<f64>` representation
+//! compared — before touching any state. Chains bottom out at
+//! injections (`FlowNext` provenance) and scripted actions (`Start`
+//! provenance), whose times are fresh RNG draws or scenario constants
+//! with no shared lineage — only there does the tie-break fall back to
+//! insertion order, and only there is the contract's measure-zero fine
+//! print (documented in DESIGN.md).
+//!
+//! Cross-LP handoffs serialize the chain (most recent first) into the
+//! window's payload sidecar ([`Outbox::payload`]) and the receiving LP
+//! re-interns it into its own arena — a by-value copy, which is
+//! semantically free because chains are compared by value. Arena
+//! memory stays bounded by epoch-based compaction at window barriers:
+//! when an LP's arena crosses its threshold, the paths reachable from
+//! still-pending events are copied into a fresh epoch and their
+//! handles rewritten in place ([`CalendarQueue::for_each_item_mut`]);
+//! everything else is garbage. Delivered packets' chains are
+//! materialized by value into a per-LP store at delivery time, so
+//! they survive every epoch until the final merge.
 //!
 //! ## Merge rules
 //!
@@ -61,8 +83,9 @@
 //! full-chain ties). `in_flight` is recomputed from the ledger. The CI
 //! `topo-smoke` job pins `--sim-threads` 1 vs 2 vs 4 byte-identity.
 
-use crate::link::{LinkOffer, LinkState};
-use crate::net::{hop, Flow, HopOutcome, NetAction, NetConfig, NetPacket, NetworkSim};
+use crate::chain::{chain_cmp_recent_first, ChainArena, NIL};
+use crate::link::{LinkArena, LinkOffer, LinkState};
+use crate::net::{hop, CompiledNetAction, Flow, HopOutcome, NetConfig, NetPacket, NetworkSim};
 use crate::stats::{NetDropCause, NetStats};
 use dra_core::handle::RouterHandle;
 use dra_core::scenario::Action;
@@ -72,6 +95,7 @@ use dra_des::random::exponential;
 use dra_net::fib::Dir248Fib;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::cell::RefCell;
 
 /// One precomputed packet injection.
 #[derive(Debug, Clone, Copy)]
@@ -81,7 +105,18 @@ struct Arrival {
     id: u64,
 }
 
-/// Replay the serial kernel's flow-arrival draw order.
+/// Per-flow precompute scratch: (next fire time, insertion order, alive).
+type FlowPending = Vec<(f64, u64, bool)>;
+
+thread_local! {
+    /// Arrival-precompute workspace, pooled per worker thread so
+    /// campaign replications reuse the buffers instead of
+    /// reallocating the whole arrival timeline per cell × rep.
+    static PRECOMPUTE_POOL: RefCell<(Vec<Arrival>, FlowPending)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Replay the serial kernel's flow-arrival draw order into `out`.
 ///
 /// In the serial model `Start` draws one inter-arrival per flow (in
 /// flow order), then each `FlowNext` pop draws the next one — unless
@@ -90,18 +125,25 @@ struct Arrival {
 /// (time, sequence) order, which restricted to arrivals is exactly
 /// "earliest pending time, insertion order on ties" — reproduced here
 /// with a scan (flow counts are small). Same RNG, same draw sequence,
-/// bit-identical timestamps and packet ids.
-fn precompute_arrivals(flows: &[Flow], stop_s: f64, horizon: f64, seed: u64) -> Vec<Arrival> {
+/// bit-identical timestamps and packet ids. `pending` is caller-owned
+/// scratch ((next fire time, insertion order, alive) per flow).
+fn precompute_arrivals_into(
+    flows: &[Flow],
+    stop_s: f64,
+    horizon: f64,
+    seed: u64,
+    out: &mut Vec<Arrival>,
+    pending: &mut Vec<(f64, u64, bool)>,
+) {
+    out.clear();
+    pending.clear();
     let mut rng = SmallRng::seed_from_u64(seed);
-    // (next fire time, insertion order, alive) per flow.
-    let mut pending: Vec<(f64, u64, bool)> = Vec::with_capacity(flows.len());
     let mut order = 0u64;
     for f in flows {
         let dt = exponential(&mut rng, f.rate_pps);
         pending.push((dt, order, true));
         order += 1;
     }
-    let mut out = Vec::new();
     let mut id = 0u64;
     loop {
         let mut best: Option<usize> = None;
@@ -129,36 +171,21 @@ fn precompute_arrivals(flows: &[Flow], stop_s: f64, horizon: f64, seed: u64) -> 
         });
         id += 1;
     }
-    out
 }
 
-/// One delivered packet, recorded for the ordered Welford replay.
-#[derive(Debug, Clone)]
+/// One delivered packet, recorded for the ordered Welford replay. The
+/// provenance chain (pop times of every event processed on its
+/// behalf, most recent first) lives in the owning LP's chain store at
+/// `chain_off..chain_off + chain_len` — materialized by value at
+/// delivery time so it survives arena compaction epochs.
+#[derive(Debug, Clone, Copy)]
 struct Delivery {
     at: f64,
-    /// The packet's provenance chain (see the module docs): pop times
-    /// of every event processed on its behalf, injection first. Tied
-    /// deliveries replay in reversed-chain order — the serial kernel's
-    /// scheduling sequence.
-    chain: Vec<f64>,
     latency_s: f64,
-    hops: u8,
+    chain_off: u32,
+    chain_len: u32,
     flow: u32,
-}
-
-/// Compare two provenance chains most-recent-first: the serial
-/// kernel's tie order for two equal-time events is their schedulers'
-/// pop order, recursively. A chain that runs out first bottomed out
-/// at its injection or scripted action — independent provenance, so
-/// order is arbitrary there; shorter-first keeps it deterministic.
-fn chain_cmp(a: &[f64], b: &[f64]) -> std::cmp::Ordering {
-    for (x, y) in a.iter().rev().zip(b.iter().rev()) {
-        match x.total_cmp(y) {
-            std::cmp::Ordering::Equal => {}
-            o => return o,
-        }
-    }
-    a.len().cmp(&b.len())
+    hops: u8,
 }
 
 /// A fault action localized to one router LP. A cable cut, atomic in
@@ -173,49 +200,67 @@ enum LocalAct {
 
 /// Local event alphabet of one router LP (the node-local restriction
 /// of [`crate::net::NetEvent`]; arrivals are pre-inserted `Transit`s).
+/// `chain` is a handle into the owning LP's [`ChainArena`].
 #[derive(Debug, Clone)]
 enum LpEvent {
     Transit {
         pkt: NetPacket,
         in_port: u16,
-        chain: Vec<f64>,
+        chain: u32,
     },
     Forward {
         pkt: NetPacket,
         out_port: u16,
-        chain: Vec<f64>,
+        chain: u32,
     },
     Deliver {
         pkt: NetPacket,
-        chain: Vec<f64>,
+        chain: u32,
     },
     Act(LocalAct),
 }
 
+// The hot-path variants stay within 32 bytes (24-byte packet + port +
+// chain handle + discriminant); only scripted actions may exceed it.
+const _: () = assert!(std::mem::size_of::<LpEvent>() <= 32);
+
 impl LpEvent {
     /// The event's provenance chain (scripted actions descend from
     /// `Start`, injected transits from `FlowNext`: both empty).
-    fn chain(&self) -> &[f64] {
+    fn chain(&self) -> u32 {
         match self {
             LpEvent::Transit { chain, .. }
             | LpEvent::Forward { chain, .. }
-            | LpEvent::Deliver { chain, .. } => chain,
-            LpEvent::Act(_) => &[],
+            | LpEvent::Deliver { chain, .. } => *chain,
+            LpEvent::Act(_) => NIL,
+        }
+    }
+
+    /// Mutable handle access for arena-compaction relocation.
+    fn chain_mut(&mut self) -> Option<&mut u32> {
+        match self {
+            LpEvent::Transit { chain, .. }
+            | LpEvent::Forward { chain, .. }
+            | LpEvent::Deliver { chain, .. } => Some(chain),
+            LpEvent::Act(_) => None,
         }
     }
 }
 
 /// A packet crossing between router LPs, timestamped with its arrival
-/// at the peer (≥ one link latency after the emitting `Forward`).
+/// at the peer (≥ one link latency after the emitting `Forward`). The
+/// provenance chain rides the window's payload sidecar at
+/// `chain_off..chain_off + chain_len`, most recent pop first.
 struct NetCross {
     time: f64,
     pkt: NetPacket,
     in_port: u16,
-    chain: Vec<f64>,
+    chain_off: u32,
+    chain_len: u32,
 }
 
 /// One router as a logical process: the node-local slice of
-/// [`NetworkSim`] plus a private calendar queue.
+/// [`NetworkSim`] plus a private calendar queue and provenance arena.
 struct NodeLp {
     node: u32,
     cfg: NetConfig,
@@ -230,6 +275,24 @@ struct NodeLp {
     covered_busy: f64,
     queue: CalendarQueue<LpEvent>,
     seq: u64,
+    /// Precomputed traffic arrivals `(time, seq, pkt, in_port)`,
+    /// sorted by `(time, seq)` and fed into the queue one window at a
+    /// time by `advance_window`. Staging keeps the calendar population
+    /// bounded by the in-flight event count instead of the full
+    /// horizon's arrival schedule — the queue never grows (or
+    /// allocates) proportionally to how long the run is. The `(time,
+    /// seq)` keys are assigned at setup exactly as eager insertion
+    /// would have assigned them, and calendar pop order is a pure
+    /// function of those keys, so late insertion is unobservable.
+    staged: Vec<(f64, u64, NetPacket, u16)>,
+    /// Cursor into `staged`: everything before it has been fed.
+    next_staged: usize,
+    /// Interned provenance chains for every pending local event.
+    arena: ChainArena,
+    /// Same-time batch staging, reused across pops and windows.
+    batch: Vec<(u64, LpEvent)>,
+    /// Delivered packets' chains, materialized most-recent-first.
+    chain_store: Vec<f64>,
     drops: [u64; 8],
     deliveries: Vec<Delivery>,
 }
@@ -240,13 +303,43 @@ impl NodeLp {
         self.seq += 1;
         self.queue.push(time, seq, event);
     }
+
+    /// Record an arrival for lazy injection, consuming a `seq` exactly
+    /// as an eager `push` would have.
+    fn stage(&mut self, time: f64, pkt: NetPacket, in_port: u16) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.staged.push((time, seq, pkt, in_port));
+    }
 }
 
 impl LogicalProcess for NodeLp {
     type Cross = NetCross;
+    type Payload = Vec<f64>;
 
-    fn advance_window(&mut self, window_end: f64, out: &mut Outbox<NetCross>) {
-        let mut batch: Vec<(u64, LpEvent)> = Vec::new();
+    fn advance_window(&mut self, window_end: f64, out: &mut Outbox<NetCross, Vec<f64>>) {
+        // The payload buffer is this LP's own, recycled from two
+        // barriers ago; offsets restart at zero each window.
+        out.payload.clear();
+        // Feed this window's staged arrivals before draining anything:
+        // their pre-assigned `(time, seq)` keys slot them into the pop
+        // order exactly where eager insertion would have.
+        while let Some(&(t, seq, pkt, in_port)) = self.staged.get(self.next_staged) {
+            if t > window_end {
+                break;
+            }
+            self.next_staged += 1;
+            self.queue.push(
+                t,
+                seq,
+                LpEvent::Transit {
+                    pkt,
+                    in_port,
+                    chain: NIL,
+                },
+            );
+        }
+        let mut batch = std::mem::take(&mut self.batch);
         while let Some((now, seq, event)) = self.queue.pop_at_or_before(window_end) {
             // Drain every event tied at `now` and order the batch by
             // provenance (the serial scheduling sequence) before any
@@ -261,14 +354,21 @@ impl LogicalProcess for NodeLp {
                 batch.push((s, e));
             }
             if batch.len() > 1 {
-                batch.sort_by(|a, b| chain_cmp(a.1.chain(), b.1.chain()).then(a.0.cmp(&b.0)));
+                // Unstable sort: the trailing `seq` compare makes the
+                // order total (seqs are unique), and the unstable
+                // algorithm never allocates sort scratch on the hot
+                // path.
+                let arena = &self.arena;
+                batch.sort_unstable_by(|a, b| {
+                    arena.cmp(a.1.chain(), b.1.chain()).then(a.0.cmp(&b.0))
+                });
             }
             for (_seq, event) in batch.drain(..) {
                 match event {
                     LpEvent::Transit {
                         mut pkt,
                         in_port,
-                        mut chain,
+                        chain,
                     } => {
                         let outcome = hop(
                             self.node,
@@ -280,13 +380,14 @@ impl LogicalProcess for NodeLp {
                             &mut pkt,
                             in_port,
                         );
-                        chain.push(now);
                         match outcome {
                             HopOutcome::Drop(cause) => self.drops[cause.index()] += 1,
                             HopOutcome::Deliver { delay_s } => {
+                                let chain = self.arena.extend(chain, now);
                                 self.push(now + delay_s, LpEvent::Deliver { pkt, chain });
                             }
                             HopOutcome::Forward { delay_s, out_port } => {
+                                let chain = self.arena.extend(chain, now);
                                 self.push(
                                     now + delay_s,
                                     LpEvent::Forward {
@@ -301,7 +402,7 @@ impl LogicalProcess for NodeLp {
                     LpEvent::Forward {
                         pkt,
                         out_port,
-                        mut chain,
+                        chain,
                     } => {
                         let offer = self.links[out_port as usize].offer(
                             &self.cfg.link,
@@ -314,26 +415,39 @@ impl LogicalProcess for NodeLp {
                                 self.drops[NetDropCause::LinkCongested.index()] += 1;
                             }
                             LinkOffer::Sent { delay_s } => {
-                                chain.push(now);
+                                // Serialize `now` + the chain (most
+                                // recent first) into the sidecar; the
+                                // peer re-interns it on accept.
+                                let chain_off = out.payload.len() as u32;
+                                out.payload.push(now);
+                                self.arena.serialize_into(chain, &mut out.payload);
+                                let chain_len = out.payload.len() as u32 - chain_off;
                                 out.send(
                                     self.peers[out_port as usize],
                                     NetCross {
                                         time: now + delay_s,
                                         pkt,
                                         in_port: self.peer_in_port[out_port as usize],
-                                        chain,
+                                        chain_off,
+                                        chain_len,
                                     },
                                 );
                             }
                         }
                     }
-                    LpEvent::Deliver { pkt, chain } => self.deliveries.push(Delivery {
-                        at: now,
-                        chain,
-                        latency_s: now - pkt.injected_at,
-                        hops: pkt.hops,
-                        flow: pkt.flow,
-                    }),
+                    LpEvent::Deliver { pkt, chain } => {
+                        let chain_off = self.chain_store.len() as u32;
+                        self.arena.serialize_into(chain, &mut self.chain_store);
+                        let chain_len = self.chain_store.len() as u32 - chain_off;
+                        self.deliveries.push(Delivery {
+                            at: now,
+                            latency_s: now - pkt.injected_at,
+                            chain_off,
+                            chain_len,
+                            flow: pkt.flow,
+                            hops: pkt.hops,
+                        });
+                    }
                     LpEvent::Act(act) => match act {
                         LocalAct::Router(action) => {
                             self.router.advance_to(now);
@@ -344,15 +458,34 @@ impl LogicalProcess for NodeLp {
                 }
             }
         }
+        self.batch = batch;
+        // Window barrier = epoch boundary: every live chain is
+        // reachable from a pending queue event (cross messages were
+        // interned on accept; delivered chains are already
+        // materialized), so compaction relocates exactly those paths
+        // and retires the rest.
+        if self.arena.should_compact() {
+            self.arena.begin_compact();
+            let arena = &mut self.arena;
+            self.queue.for_each_item_mut(|ev| {
+                if let Some(h) = ev.chain_mut() {
+                    *h = arena.relocate(*h);
+                }
+            });
+            self.arena.finish_compact();
+        }
     }
 
-    fn accept(&mut self, msg: NetCross) {
+    fn accept(&mut self, msg: NetCross, payload: &Vec<f64>) {
+        let lo = msg.chain_off as usize;
+        let hi = lo + msg.chain_len as usize;
+        let chain = self.arena.intern_recent_first(&payload[lo..hi]);
         self.push(
             msg.time,
             LpEvent::Transit {
                 pkt: msg.pkt,
                 in_port: msg.in_port,
-                chain: msg.chain,
+                chain,
             },
         );
     }
@@ -368,7 +501,6 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
         "run_parallel: bad horizon {horizon}"
     );
     let threads = net.cfg.sim_threads.max(1);
-    let lookahead = net.cfg.link.latency_s;
     let NetworkSim {
         topo,
         fibs,
@@ -377,17 +509,40 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
         covered_busy,
         flows,
         scenario,
+        compiled,
         cfg,
         stats: _,
         next_pkt_id: _,
     } = net;
+    // Adaptive conservative lookahead: the minimum latency over the
+    // links actually attached (uniform configs reproduce the old
+    // global `link.latency_s` window exactly; heterogeneous ones get
+    // the tightest safe width).
+    let lookahead = links.min_latency().unwrap_or(cfg.link.latency_s);
     let n_flows = flows.len();
-    let arrivals = precompute_arrivals(&flows, cfg.traffic_stop_s, horizon, seed);
+    let (mut arrivals, mut pending) = PRECOMPUTE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        (std::mem::take(&mut pool.0), std::mem::take(&mut pool.1))
+    });
+    precompute_arrivals_into(
+        &flows,
+        cfg.traffic_stop_s,
+        horizon,
+        seed,
+        &mut arrivals,
+        &mut pending,
+    );
 
+    // Exact-size the per-LP staging vectors up front: one allocation
+    // each, no growth during the fill.
+    let mut staged_counts = vec![0usize; topo.n_nodes()];
+    for a in &arrivals {
+        staged_counts[flows[a.flow as usize].src as usize] += 1;
+    }
     let mut lps: Vec<NodeLp> = nodes
         .into_iter()
         .zip(fibs)
-        .zip(links)
+        .zip(links.into_per_node())
         .zip(covered_busy)
         .enumerate()
         .map(|(n, (((router, fib), links), covered_busy))| NodeLp {
@@ -401,68 +556,29 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
             covered_busy,
             queue: CalendarQueue::new(),
             seq: 0,
+            arena: ChainArena::new(),
+            batch: Vec::new(),
+            chain_store: Vec::new(),
             drops: [0; 8],
             deliveries: Vec::new(),
+            staged: Vec::with_capacity(staged_counts[n]),
+            next_staged: 0,
         })
         .collect();
 
     // Pre-insert scripted actions (scenario order, matching the serial
-    // `Start` handler's scheduling order), then arrivals (injection
-    // order). Per-LP insertion order is the tie-break at equal times,
-    // exactly as the serial kernel's scheduling sequence was.
-    let port_between = |a: u32, b: u32| -> u16 {
-        topo.adj[a as usize]
-            .binary_search(&b)
-            .unwrap_or_else(|_| panic!("no link {a}-{b}")) as u16
-    };
-    for &(at, action) in &scenario {
-        match action {
-            NetAction::FailComponent { node, lc, kind } => lps[node as usize].push(
-                at,
-                LpEvent::Act(LocalAct::Router(Action::FailComponent(lc, kind))),
-            ),
-            NetAction::RepairLc { node, lc } => {
-                lps[node as usize].push(at, LpEvent::Act(LocalAct::Router(Action::RepairLc(lc))));
+    // `Start` handler's scheduling order) using the precompiled
+    // (node, port) resolutions, then arrivals (injection order).
+    // Per-LP insertion order is the tie-break at equal times, exactly
+    // as the serial kernel's scheduling sequence was.
+    for ((at, _), act) in scenario.iter().zip(&compiled) {
+        match act {
+            CompiledNetAction::Router { node, action } => {
+                lps[*node as usize].push(*at, LpEvent::Act(LocalAct::Router(action.clone())))
             }
-            NetAction::FailEib { node } => {
-                lps[node as usize].push(at, LpEvent::Act(LocalAct::Router(Action::FailEib)));
-            }
-            NetAction::RepairEib { node } => {
-                lps[node as usize].push(at, LpEvent::Act(LocalAct::Router(Action::RepairEib)));
-            }
-            NetAction::FailLink { a, b } => {
-                let (pab, pba) = (port_between(a, b), port_between(b, a));
-                lps[a as usize].push(
-                    at,
-                    LpEvent::Act(LocalAct::Link {
-                        port: pab,
-                        up: false,
-                    }),
-                );
-                lps[b as usize].push(
-                    at,
-                    LpEvent::Act(LocalAct::Link {
-                        port: pba,
-                        up: false,
-                    }),
-                );
-            }
-            NetAction::RepairLink { a, b } => {
-                let (pab, pba) = (port_between(a, b), port_between(b, a));
-                lps[a as usize].push(
-                    at,
-                    LpEvent::Act(LocalAct::Link {
-                        port: pab,
-                        up: true,
-                    }),
-                );
-                lps[b as usize].push(
-                    at,
-                    LpEvent::Act(LocalAct::Link {
-                        port: pba,
-                        up: true,
-                    }),
-                );
+            CompiledNetAction::Cable { a, pa, b, pb, up } => {
+                lps[*a as usize].push(*at, LpEvent::Act(LocalAct::Link { port: *pa, up: *up }));
+                lps[*b as usize].push(*at, LpEvent::Act(LocalAct::Link { port: *pb, up: *up }));
             }
         }
     }
@@ -470,21 +586,22 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
         let f = flows[a.flow as usize];
         let pkt = NetPacket {
             id: a.id,
+            injected_at: a.at,
             flow: a.flow,
-            dst: f.dst,
+            dst: f.dst as u16,
             ttl: cfg.ttl,
             hops: 0,
-            injected_at: a.at,
         };
         let in_port = topo.host_port(f.src);
-        lps[f.src as usize].push(
-            a.at,
-            LpEvent::Transit {
-                pkt,
-                in_port,
-                chain: Vec::new(),
-            },
-        );
+        lps[f.src as usize].stage(a.at, pkt, in_port);
+    }
+    // The precompute replays arrivals in serial event order, so each
+    // LP's slice is already (time, seq)-sorted; the sort is a cheap
+    // no-op guard for that invariant (keys are unique, so unstable is
+    // deterministic, and sorting never changes which key pops when).
+    for lp in &mut lps {
+        lp.staged
+            .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     }
 
     let _report: WindowReport = run_windows(&mut lps, lookahead, horizon, threads);
@@ -496,19 +613,31 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
     for a in &arrivals {
         stats.flow_injected[a.flow as usize] += 1;
     }
+    let next_pkt_id = arrivals.len() as u64;
+    PRECOMPUTE_POOL.with(|p| {
+        let mut pool = p.borrow_mut();
+        pool.0 = std::mem::take(&mut arrivals);
+        pool.1 = std::mem::take(&mut pending);
+    });
+    let total_deliveries: usize = lps.iter().map(|lp| lp.deliveries.len()).sum();
     let mut fibs = Vec::with_capacity(lps.len());
     let mut nodes = Vec::with_capacity(lps.len());
-    let mut links = Vec::with_capacity(lps.len());
+    let mut per_node_links = Vec::with_capacity(lps.len());
     let mut covered_busy = Vec::with_capacity(lps.len());
-    let mut deliveries: Vec<Delivery> = Vec::new();
-    for lp in lps {
+    let mut chain_stores: Vec<Vec<f64>> = Vec::with_capacity(lps.len());
+    // Pre-sized merge: one exact allocation, filled in node order.
+    let mut deliveries: Vec<(u32, Delivery)> = Vec::with_capacity(total_deliveries);
+    for (i, lp) in lps.into_iter().enumerate() {
         for (acc, d) in stats.drops.iter_mut().zip(lp.drops) {
             *acc += d;
         }
-        deliveries.extend(lp.deliveries);
+        for d in lp.deliveries {
+            deliveries.push((i as u32, d));
+        }
+        chain_stores.push(lp.chain_store);
         nodes.push(lp.router);
         fibs.push(lp.fib);
-        links.push(lp.links);
+        per_node_links.push(lp.links);
         covered_busy.push(lp.covered_busy);
     }
     // Replay order: delivery time, then — on exact ties — provenance
@@ -517,23 +646,30 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
     // so a full-chain tie (independent provenance, measure-zero) falls
     // back to a canonical (node, local order) key; DESIGN.md records
     // that residue as the determinism contract's fine print.
-    deliveries.sort_by(|x, y| x.at.total_cmp(&y.at).then(chain_cmp(&x.chain, &y.chain)));
-    for d in &deliveries {
+    let chain_of = |(lp, d): &(u32, Delivery)| -> &[f64] {
+        &chain_stores[*lp as usize][d.chain_off as usize..(d.chain_off + d.chain_len) as usize]
+    };
+    deliveries.sort_by(|x, y| {
+        x.1.at
+            .total_cmp(&y.1.at)
+            .then_with(|| chain_cmp_recent_first(chain_of(x), chain_of(y)))
+    });
+    for (_, d) in &deliveries {
         stats.delivered += 1;
         stats.flow_delivered[d.flow as usize] += 1;
         stats.latency.push(d.latency_s);
         stats.hops.push(d.hops as f64);
     }
     stats.in_flight = stats.injected - stats.delivered - stats.dropped_total();
-    let next_pkt_id = arrivals.len() as u64;
     NetworkSim {
         topo,
         fibs,
         nodes,
-        links,
+        links: LinkArena::from_per_node(per_node_links.into_iter()),
         covered_busy,
         flows,
         scenario,
+        compiled,
         cfg,
         stats,
         next_pkt_id,
@@ -543,6 +679,13 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn precompute_arrivals(flows: &[Flow], stop_s: f64, horizon: f64, seed: u64) -> Vec<Arrival> {
+        let mut out = Vec::new();
+        let mut pending = Vec::new();
+        precompute_arrivals_into(flows, stop_s, horizon, seed, &mut out, &mut pending);
+        out
+    }
 
     #[test]
     fn arrival_precompute_matches_serial_draws() {
@@ -569,8 +712,10 @@ mod tests {
             assert_eq!(w[1].id, w[0].id + 1, "ids dense in injection order");
         }
         assert!(arr.iter().all(|a| a.at < 8e-3), "stop time respected");
-        // Same seed, same stream.
-        let again = precompute_arrivals(&flows, 8e-3, 10e-3, 42);
+        // Same seed, same stream — and buffer reuse changes nothing.
+        let mut again = Vec::with_capacity(1024);
+        let mut pending = Vec::with_capacity(8);
+        precompute_arrivals_into(&flows, 8e-3, 10e-3, 42, &mut again, &mut pending);
         assert_eq!(arr.len(), again.len());
         assert!(arr
             .iter()

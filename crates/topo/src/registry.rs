@@ -6,7 +6,7 @@ use crate::topology::TopologyKind;
 use dra_core::handle::ArchKind;
 
 /// Names `spec_by_name` accepts.
-pub const NAMES: [&str; 3] = ["resilience", "smoke", "scale"];
+pub const NAMES: [&str; 4] = ["resilience", "smoke", "scale", "scale2"];
 
 /// Look up a named sweep (`quick` shrinks it for CI smoke runs).
 pub fn spec_by_name(name: &str, quick: bool) -> Option<TopoSpec> {
@@ -14,6 +14,7 @@ pub fn spec_by_name(name: &str, quick: bool) -> Option<TopoSpec> {
         "resilience" => Some(resilience(quick)),
         "smoke" => Some(smoke()),
         "scale" => Some(scale(quick)),
+        "scale2" => Some(scale2(quick)),
         _ => None,
     }
 }
@@ -152,9 +153,49 @@ pub fn scale(quick: bool) -> TopoSpec {
     )
 }
 
+/// The second scaling tier, unlocked by the interned-provenance /
+/// zero-alloc engine overhaul: N ≥ 512 routers (32×32 mesh and
+/// BA(512)), healthy and 4-degraded twins per topology. The quick
+/// variant runs one BA(512) healthy pair, sized for the CI
+/// `topo-smoke` job's sim-threads 1-vs-2-vs-4 byte-identity check.
+pub fn scale2(quick: bool) -> TopoSpec {
+    let topologies: &[TopologyKind] = if quick {
+        &[TopologyKind::BarabasiAlbert {
+            n: 512,
+            m: 2,
+            seed: 13,
+        }]
+    } else {
+        &[
+            TopologyKind::Mesh2D { rows: 32, cols: 32 },
+            TopologyKind::BarabasiAlbert {
+                n: 512,
+                m: 2,
+                seed: 13,
+            },
+        ]
+    };
+    let ks: &[u32] = if quick { &[0] } else { &[0, 4] };
+    let flows = FlowSpec {
+        n_flows: if quick { 16 } else { 64 },
+        rate_pps: if quick { 20_000.0 } else { 40_000.0 },
+        packet_bytes: 700,
+    };
+    grid(
+        if quick { "scale2-quick" } else { "scale2" },
+        "composed reliability at N >= 512 routers (hot-path-overhaul workload)",
+        topologies,
+        ks,
+        flows,
+        if quick { 2e-3 } else { 10e-3 },
+        1,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::topology::Topology;
 
     #[test]
     fn named_specs_validate() {
@@ -180,6 +221,25 @@ mod tests {
         let labels: Vec<String> = spec.cells.iter().map(|c| c.topology.label()).collect();
         for want in ["mesh-8x8", "ba-n128-m2", "mesh-16x16"] {
             assert!(labels.iter().any(|l| l == want), "missing {want}");
+        }
+    }
+
+    #[test]
+    fn scale2_reaches_512_routers() {
+        let spec = scale2(false);
+        let labels: Vec<String> = spec.cells.iter().map(|c| c.topology.label()).collect();
+        for want in ["mesh-32x32", "ba-n512-m2"] {
+            assert!(labels.iter().any(|l| l == want), "missing {want}");
+        }
+        for cell in &spec.cells {
+            assert!(
+                Topology::build(cell.topology).n_nodes() >= 512,
+                "scale2 cell below the N >= 512 floor"
+            );
+        }
+        // The quick tier stays at N >= 512 too — that's the point.
+        for cell in &scale2(true).cells {
+            assert!(Topology::build(cell.topology).n_nodes() >= 512);
         }
     }
 

@@ -153,6 +153,54 @@ fn parallel_matches_serial_through_link_repair() {
 }
 
 #[test]
+fn parallel_matches_serial_with_heterogeneous_latencies() {
+    // Adaptive windows: a mesh with one slow WAN-ish edge and one
+    // extra-fast edge. The parallel engine's window width must come
+    // from the *minimum* attached latency (the fast edge), and
+    // messages over the slow edge arrive many windows early — both
+    // paths must still reproduce the serial kernel bit-for-bit.
+    let run_with = |threads: usize| {
+        let topo = Topology::build(TopologyKind::Mesh2D { rows: 4, cols: 4 });
+        let cfg = NetConfig {
+            traffic_stop_s: 7.5e-3,
+            sim_threads: threads,
+            ..NetConfig::default()
+        };
+        let flows = vec![
+            Flow {
+                src: 0,
+                dst: 15,
+                rate_pps: 40_000.0,
+            },
+            Flow {
+                src: 12,
+                dst: 3,
+                rate_pps: 40_000.0,
+            },
+            Flow {
+                src: 5,
+                dst: 10,
+                rate_pps: 20_000.0,
+            },
+        ];
+        let mut net = NetworkSim::new(topo, ArchKind::Dra, cfg, flows, 0xFADE);
+        // Default is 10 µs everywhere; stretch 5-6 to 80 µs (a slow
+        // edge on every 0→15 shortest path family) and shrink 9-10 to
+        // 2 µs, which becomes the conservative lookahead.
+        net.set_link_latency(5, 6, 80e-6);
+        net.set_link_latency(9, 10, 2e-6);
+        let sc = NetScenario::new().at(3e-3, NetAction::FailLink { a: 9, b: 10 });
+        net.set_scenario(&sc);
+        net.run(11, 10e-3).stats
+    };
+    let serial = run_with(1);
+    assert!(serial.delivered > 100, "want traffic across the slow edge");
+    for threads in [2, 4, 16, 64] {
+        assert_stats_identical(&serial, &run_with(threads), &format!("hetero x{threads}"));
+    }
+}
+
+#[test]
 fn parallel_is_replication_stable_at_scale() {
     // One larger case (64 routers, the bench topology) to catch merge
     // bugs that only appear with real cross-LP traffic volume.
