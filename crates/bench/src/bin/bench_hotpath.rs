@@ -641,7 +641,16 @@ fn bench_topo(quick: bool) -> Json {
         let mut events = 0u64;
         let mut min_ape = f64::INFINITY;
         for _ in 0..reps {
-            let net = build_network(&cell, 0xD8A_70B0, 0);
+            #[cfg_attr(not(feature = "telemetry"), allow(unused_mut))]
+            let mut net = build_network(&cell, 0xD8A_70B0, 0);
+            // Under `--telemetry` this row measures the *live* network
+            // scope (counters + sampled spans on every hop), so the
+            // artifact discloses collection-on overhead next to the
+            // clean baselines it must never be compared against.
+            #[cfg(feature = "telemetry")]
+            if dra_telemetry::enabled() {
+                net.enable_net_telemetry(64);
+            }
             let mut sim = net.simulation(0xD8A_70B0);
             let a0 = allocs_now();
             let t0 = Instant::now();

@@ -57,6 +57,7 @@
 //! don't need the sidecar use `Payload = ()`.
 
 use std::sync::{Barrier, Mutex};
+use std::time::Instant;
 
 /// One logical process: a self-contained sub-simulation that can
 /// advance to a time bound and absorb timestamped cross-LP messages.
@@ -83,6 +84,14 @@ pub trait LogicalProcess: Send {
     /// emission-index)` order; `payload` is the sending LP's sidecar
     /// for the window that emitted `msg`.
     fn accept(&mut self, msg: Self::Cross, payload: &Self::Payload);
+
+    /// Cumulative count of local events this LP has processed, read by
+    /// the engine profiler between windows to attribute load. The
+    /// default `0` keeps models that don't track it working — their
+    /// profiles simply report empty load columns.
+    fn events_processed(&self) -> u64 {
+        0
+    }
 }
 
 /// Collector for cross-LP messages emitted during one LP's window.
@@ -136,6 +145,40 @@ pub struct WindowReport {
     pub cross_messages: u64,
 }
 
+/// Engine profile from one [`run_windows_profiled`] call.
+///
+/// **Non-deterministic**: the `*_ns` fields are wall-clock, so two
+/// runs of the same model differ. The event counts are deterministic
+/// (they restate what the LPs did), but consumers must keep the whole
+/// profile out of any byte-compared artifact section — that is the
+/// deterministic-vs-`profile` contract documented in DESIGN.md.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PdesProfile {
+    /// Worker threads actually used (after clamping).
+    pub threads: usize,
+    /// Barrier windows executed.
+    pub windows: u64,
+    /// Cross-LP messages exchanged.
+    pub cross_messages: u64,
+    /// Wall-clock of the whole windowed run, nanoseconds.
+    pub wall_ns: u64,
+    /// Wall-clock all threads spent blocked in `Barrier::wait`,
+    /// nanoseconds, summed across threads (a run with zero imbalance
+    /// still pays two waits per window for the convoy itself).
+    pub barrier_wait_ns: u64,
+    /// Events processed per LP, LP-id order (via
+    /// [`LogicalProcess::events_processed`]).
+    pub lp_events: Vec<u64>,
+    /// Windows in which each LP processed at least one event.
+    pub lp_busy_windows: Vec<u64>,
+    /// Windows in which at least one LP processed an event.
+    pub nonempty_windows: u64,
+    /// Sum over windows of the busiest LP's event count in that
+    /// window — the critical-path event count under perfect balance;
+    /// compare against `lp_events.sum() / threads`.
+    pub window_max_events_sum: u64,
+}
+
 /// Advance `lps` to `horizon` on `threads` scoped threads using
 /// conservative barrier windows of width `lookahead / 2`.
 ///
@@ -157,6 +200,32 @@ pub fn run_windows<L: LogicalProcess>(
     horizon: f64,
     threads: usize,
 ) -> WindowReport {
+    run_windows_inner(lps, lookahead, horizon, threads, None)
+}
+
+/// [`run_windows`] plus profiling: fills `profile` with per-LP load,
+/// per-window occupancy, and barrier-stall wall-clock (replacing its
+/// previous contents). Profiling reads wall-clocks and takes one extra
+/// lock per thread per window, so the profiled run is marginally
+/// slower — but the simulation result is still byte-identical to an
+/// unprofiled run at any thread count.
+pub fn run_windows_profiled<L: LogicalProcess>(
+    lps: &mut [L],
+    lookahead: f64,
+    horizon: f64,
+    threads: usize,
+    profile: &mut PdesProfile,
+) -> WindowReport {
+    run_windows_inner(lps, lookahead, horizon, threads, Some(profile))
+}
+
+fn run_windows_inner<L: LogicalProcess>(
+    lps: &mut [L],
+    lookahead: f64,
+    horizon: f64,
+    threads: usize,
+    profile: Option<&mut PdesProfile>,
+) -> WindowReport {
     assert!(
         lookahead > 0.0 && lookahead.is_finite(),
         "run_windows: lookahead must be positive and finite, got {lookahead}"
@@ -166,6 +235,9 @@ pub fn run_windows<L: LogicalProcess>(
         "run_windows: horizon must be nonnegative and finite, got {horizon}"
     );
     if lps.is_empty() {
+        if let Some(p) = profile {
+            *p = PdesProfile::default();
+        }
         return WindowReport {
             windows: 0,
             cross_messages: 0,
@@ -185,7 +257,7 @@ pub fn run_windows<L: LogicalProcess>(
     // see the module docs — so a simple even split suffices).
     let bound = |t: usize| t * n_lps / threads;
     let mut chunks: Vec<(usize, &mut [L])> = Vec::with_capacity(threads);
-    let mut rest = lps;
+    let mut rest = &mut *lps;
     for t in 0..threads {
         let take = bound(t + 1) - bound(t);
         let (head, tail) = rest.split_at_mut(take);
@@ -204,6 +276,24 @@ pub fn run_windows<L: LogicalProcess>(
         .map(|_| Mutex::new(L::Payload::default()))
         .collect();
     let crossings = Mutex::new(0u64);
+    // Profiling accumulators: shared per-window (events sum, max LP
+    // events) merged under one lock, per-LP busy-window counts, and
+    // the summed barrier-stall clock. All untouched when not
+    // profiling, so the unprofiled hot loop pays one branch per
+    // window and nothing else.
+    let profiling = profile.is_some();
+    let win_stats: Mutex<Vec<(u64, u64)>> = Mutex::new(if profiling {
+        vec![(0, 0); n_windows as usize]
+    } else {
+        Vec::new()
+    });
+    let busy: Mutex<Vec<u64>> = Mutex::new(if profiling {
+        vec![0; n_lps]
+    } else {
+        Vec::new()
+    });
+    let barrier_ns = Mutex::new(0u64);
+    let wall_start = Instant::now();
 
     std::thread::scope(|scope| {
         for (tid, (base, chunk)) in chunks.into_iter().enumerate() {
@@ -211,9 +301,22 @@ pub fn run_windows<L: LogicalProcess>(
             let slots = &slots;
             let payloads = &payloads;
             let crossings = &crossings;
+            let win_stats = &win_stats;
+            let busy = &busy;
+            let barrier_ns = &barrier_ns;
             scope.spawn(move || {
                 let mut outbox = Outbox::new();
                 let mut published = 0u64;
+                // Profiling locals: previous cumulative event count
+                // per chunk LP (for per-window deltas), per-LP busy
+                // windows, and this thread's barrier-stall clock.
+                let mut prev: Vec<u64> = if profiling {
+                    chunk.iter().map(|lp| lp.events_processed()).collect()
+                } else {
+                    Vec::new()
+                };
+                let mut busy_local: Vec<u64> = vec![0; prev.len()];
+                let mut wait_ns = 0u64;
                 // Staging buffers live across windows: steady state,
                 // a window reuses the high-water capacity of earlier
                 // ones instead of reallocating per barrier.
@@ -244,6 +347,26 @@ pub fn run_windows<L: LogicalProcess>(
                             *slot = std::mem::take(&mut outbox.payload);
                         }
                     }
+                    if profiling {
+                        let mut sum = 0u64;
+                        let mut mx = 0u64;
+                        for (j, lp) in chunk.iter().enumerate() {
+                            let e = lp.events_processed();
+                            let d = e - prev[j];
+                            prev[j] = e;
+                            if d > 0 {
+                                busy_local[j] += 1;
+                            }
+                            sum += d;
+                            mx = mx.max(d);
+                        }
+                        if sum > 0 {
+                            let mut ws = win_stats.lock().expect("window stats lock");
+                            let slot = &mut ws[k as usize];
+                            slot.0 += sum;
+                            slot.1 = slot.1.max(mx);
+                        }
+                    }
                     published += outgoing.len() as u64;
                     if !outgoing.is_empty() {
                         slots[tid]
@@ -251,7 +374,13 @@ pub fn run_windows<L: LogicalProcess>(
                             .expect("outbox slot lock")
                             .append(&mut outgoing);
                     }
-                    barrier.wait();
+                    if profiling {
+                        let t0 = Instant::now();
+                        barrier.wait();
+                        wait_ns += t0.elapsed().as_nanos() as u64;
+                    } else {
+                        barrier.wait();
+                    }
                     // Phase 2: claim the messages addressed to this
                     // chunk and apply them in (dst, src, idx) order —
                     // a key no thread schedule can perturb. Payload
@@ -281,16 +410,43 @@ pub fn run_windows<L: LogicalProcess>(
                     }
                     // Phase 3: nobody republishes into a slot another
                     // thread may still be scanning.
-                    barrier.wait();
+                    if profiling {
+                        let t0 = Instant::now();
+                        barrier.wait();
+                        wait_ns += t0.elapsed().as_nanos() as u64;
+                    } else {
+                        barrier.wait();
+                    }
                 }
                 *crossings.lock().expect("crossing counter") += published;
+                if profiling {
+                    *barrier_ns.lock().expect("barrier clock") += wait_ns;
+                    let mut b = busy.lock().expect("busy windows lock");
+                    for (j, v) in busy_local.iter().enumerate() {
+                        b[base + j] = *v;
+                    }
+                }
             });
         }
     });
 
+    let cross_messages = crossings.into_inner().expect("crossing counter");
+    if let Some(p) = profile {
+        p.threads = threads;
+        p.windows = n_windows;
+        p.cross_messages = cross_messages;
+        p.wall_ns = wall_start.elapsed().as_nanos() as u64;
+        p.barrier_wait_ns = barrier_ns.into_inner().expect("barrier clock");
+        p.lp_events = lps.iter().map(|lp| lp.events_processed()).collect();
+        p.lp_busy_windows = busy.into_inner().expect("busy windows lock");
+        let ws = win_stats.into_inner().expect("window stats lock");
+        p.nonempty_windows = ws.iter().filter(|w| w.0 > 0).count() as u64;
+        p.window_max_events_sum = ws.iter().map(|w| w.1).sum();
+    }
+
     WindowReport {
         windows: n_windows,
-        cross_messages: crossings.into_inner().expect("crossing counter"),
+        cross_messages,
     }
 }
 
@@ -343,6 +499,10 @@ mod tests {
 
         fn accept(&mut self, (t, token): (f64, u64), _payload: &()) {
             self.push(t, token);
+        }
+
+        fn events_processed(&self) -> u64 {
+            self.log.len() as u64
         }
     }
 
@@ -479,6 +639,56 @@ mod tests {
             let total: u64 = lps.iter().map(|lp| lp.checked).sum();
             assert!(total > 100, "threads={threads}: only {total} checks");
         }
+    }
+
+    #[test]
+    fn profiled_run_matches_oracle_and_accounts_load() {
+        let oracle = run_ring(8, 5, 1);
+        for threads in [1, 2, 4] {
+            let hop = 1e-3;
+            let mut lps: Vec<RingNode> = (0..8).map(|i| RingNode::new(i, 8, hop)).collect();
+            for tok in 0..5u64 {
+                lps[(tok % 8) as usize].push(tok as f64 * 1e-4, tok);
+            }
+            let mut profile = PdesProfile::default();
+            let report = run_windows_profiled(&mut lps, hop, 50e-3, threads, &mut profile);
+            // Profiling must not perturb the simulation.
+            let logs: Vec<_> = lps.into_iter().map(|lp| lp.log).collect();
+            assert_eq!(logs, oracle, "threads = {threads}");
+            // The profile restates what the LPs did.
+            assert_eq!(profile.windows, report.windows);
+            assert_eq!(profile.cross_messages, report.cross_messages);
+            assert_eq!(profile.lp_events.len(), 8);
+            let total: u64 = profile.lp_events.iter().sum();
+            let expected: u64 = logs.iter().map(|l| l.len() as u64).sum();
+            assert_eq!(total, expected);
+            assert!(profile.nonempty_windows > 0);
+            assert!(profile.nonempty_windows <= profile.windows);
+            // Each window's max ≥ its mean share, so the sum of maxes
+            // bounds total/lps from above.
+            assert!(profile.window_max_events_sum >= total / 8);
+            assert!(profile.window_max_events_sum <= total);
+            assert!(profile
+                .lp_busy_windows
+                .iter()
+                .all(|&b| b <= profile.windows));
+            let busy_total: u64 = profile.lp_busy_windows.iter().sum();
+            assert!(busy_total > 0);
+            assert!(profile.wall_ns > 0);
+            assert!(profile.threads <= 8);
+        }
+    }
+
+    #[test]
+    fn profile_resets_between_runs() {
+        let mut profile = PdesProfile {
+            lp_events: vec![99; 4],
+            windows: 123,
+            ..PdesProfile::default()
+        };
+        let mut none: Vec<RingNode> = Vec::new();
+        run_windows_profiled(&mut none, 1.0, 1.0, 2, &mut profile);
+        assert_eq!(profile, PdesProfile::default());
     }
 
     #[test]

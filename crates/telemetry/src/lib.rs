@@ -33,12 +33,17 @@
 pub mod hist;
 mod jsonw;
 pub mod lifecycle;
+pub mod netscope;
 pub mod recorder;
 pub mod snapshot;
 pub mod trace;
 
 pub use hist::CompactHist;
 pub use lifecycle::{is_sampled, sample_hash};
+pub use netscope::{
+    EngineProfile, FlowSpan, ForensicEntry, ForensicKind, NetScopeSnapshot, NodeCounters, SpanKind,
+    NET_DROP_CAUSES, NET_SNAPSHOT_FORMAT,
+};
 pub use recorder::{Event, EventKind, Ring};
 pub use snapshot::{Anomaly, Snapshot, SNAPSHOT_FORMAT};
 pub use trace::{chrome_trace_json, TraceEvent};
@@ -452,6 +457,7 @@ pub fn finish_packet(packet: u64) {
                 pid,
                 tid,
                 packet,
+                id: 0,
             };
             h.push_trace(span("packet", track.arrived, d.total));
             if d.lookup > 0.0 {
@@ -497,6 +503,7 @@ pub fn packet_dropped(packet: u64, cause_index: u32, lc: u32, cause_name: &'stat
                 pid: lc,
                 tid: packet as u32,
                 packet,
+                id: 0,
             });
         }
     });

@@ -31,6 +31,17 @@ pub enum EventKind {
     Deliver = 7,
     /// Packet dropped (`a` = `DropCause` index, `b` = lc).
     Drop = 8,
+    /// Network: packet entered a router (`a` = node, `b` = in port).
+    NetTransit = 9,
+    /// Network: packet forwarded out a link (`a` = node, `b` = out port).
+    NetForward = 10,
+    /// Network: packet delivered at its host (`a` = node, `b` = hops).
+    NetDeliver = 11,
+    /// Network: packet dropped (`a` = node, `b` = `NetDropCause` index).
+    NetDrop = 12,
+    /// Network: scripted fault/repair action (`a` = node, `b` = action
+    /// index in the scenario script; not packet-scoped).
+    NetAct = 13,
 }
 
 impl EventKind {
@@ -46,6 +57,11 @@ impl EventKind {
             EventKind::Reassembly => "reassembly",
             EventKind::Deliver => "deliver",
             EventKind::Drop => "drop",
+            EventKind::NetTransit => "net-transit",
+            EventKind::NetForward => "net-forward",
+            EventKind::NetDeliver => "net-deliver",
+            EventKind::NetDrop => "net-drop",
+            EventKind::NetAct => "net-act",
         }
     }
 }

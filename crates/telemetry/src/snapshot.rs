@@ -52,6 +52,36 @@ pub struct Snapshot {
 /// window stays available in the struct).
 const ANOMALY_EVENTS_IN_JSON: usize = 64;
 
+/// Append an anomaly as a JSON object — shared by the single-router
+/// snapshot and the network-scope snapshot's `frozen` field.
+pub(crate) fn write_anomaly(out: &mut String, a: &Anomaly) {
+    out.push_str("{\"reason\":");
+    jsonw::str(out, &a.reason);
+    out.push_str(",\"t\":");
+    jsonw::num(out, a.t);
+    let skip = a.events.len().saturating_sub(ANOMALY_EVENTS_IN_JSON);
+    out.push_str(",\"events_truncated\":");
+    out.push_str(if skip > 0 { "true" } else { "false" });
+    out.push_str(",\"events\":[");
+    for (i, ev) in a.events[skip..].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"t\":");
+        jsonw::num(out, ev.t);
+        out.push_str(",\"kind\":");
+        jsonw::str(out, ev.kind.name());
+        out.push_str(",\"a\":");
+        jsonw::uint(out, ev.a as u64);
+        out.push_str(",\"b\":");
+        jsonw::uint(out, ev.b as u64);
+        out.push_str(",\"packet\":");
+        jsonw::uint(out, ev.packet);
+        out.push('}');
+    }
+    out.push_str("]}");
+}
+
 impl Snapshot {
     /// Merge another worker's snapshot into this one.
     ///
@@ -162,33 +192,7 @@ impl Snapshot {
         out.push_str("},\"anomaly\":");
         match &self.anomaly {
             None => out.push_str("null"),
-            Some(a) => {
-                out.push_str("{\"reason\":");
-                jsonw::str(&mut out, &a.reason);
-                out.push_str(",\"t\":");
-                jsonw::num(&mut out, a.t);
-                let skip = a.events.len().saturating_sub(ANOMALY_EVENTS_IN_JSON);
-                out.push_str(",\"events_truncated\":");
-                out.push_str(if skip > 0 { "true" } else { "false" });
-                out.push_str(",\"events\":[");
-                for (i, ev) in a.events[skip..].iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str("{\"t\":");
-                    jsonw::num(&mut out, ev.t);
-                    out.push_str(",\"kind\":");
-                    jsonw::str(&mut out, ev.kind.name());
-                    out.push_str(",\"a\":");
-                    jsonw::uint(&mut out, ev.a as u64);
-                    out.push_str(",\"b\":");
-                    jsonw::uint(&mut out, ev.b as u64);
-                    out.push_str(",\"packet\":");
-                    jsonw::uint(&mut out, ev.packet);
-                    out.push('}');
-                }
-                out.push_str("]}");
-            }
+            Some(a) => write_anomaly(&mut out, a),
         }
         out.push('}');
         out

@@ -3,29 +3,36 @@
 //!
 //! Sampled packets become complete ("X") spans — one per lifecycle
 //! phase — grouped by process id (the campaign maps pid to the cell
-//! index; standalone runs use the ingress linecard) with the packet id
-//! as thread id, so a packet's phases stack on one timeline row.
-//! Drops and anomalies are instant ("i") events.
+//! index; standalone runs use the ingress linecard; network traces use
+//! the router id, one track per router) with the packet id as thread
+//! id, so a packet's phases stack on one timeline row. Drops and
+//! anomalies are instant ("i") events. Network traces additionally
+//! emit flow arrows ("s" start / "f" finish pairs sharing an `id`)
+//! linking a packet's spans across router tracks.
 
 use crate::jsonw;
 
-/// One Chrome trace event (subset: complete + instant phases).
+/// One Chrome trace event (subset: complete + instant + flow phases).
 #[derive(Debug, Clone)]
 pub struct TraceEvent {
     /// Event name shown on the span.
     pub name: &'static str,
-    /// `'X'` (complete, has `dur`) or `'i'` (instant).
+    /// `'X'` (complete, has `dur`), `'i'` (instant), or `'s'`/`'f'`
+    /// (flow arrow start/finish).
     pub ph: char,
     /// Start, microseconds of sim-time.
     pub ts_us: f64,
     /// Duration in microseconds (complete events only).
     pub dur_us: f64,
-    /// Process id lane (cell index under the campaign, else linecard).
+    /// Process id lane (cell index under the campaign, else linecard
+    /// or router id).
     pub pid: u32,
     /// Thread id lane (packet id truncated to 32 bits).
     pub tid: u32,
     /// Full packet id, attached under `args`.
     pub packet: u64,
+    /// Flow-arrow id pairing `'s'` with `'f'` (0 for other phases).
+    pub id: u64,
 }
 
 /// Serialize events to a Chrome `trace_event` JSON object.
@@ -50,6 +57,15 @@ pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
         if ev.ph == 'X' {
             out.push_str(",\"dur\":");
             jsonw::num(&mut out, ev.dur_us);
+        } else if ev.ph == 's' || ev.ph == 'f' {
+            // Flow arrow: the id pairs start with finish; binding the
+            // finish to its enclosing slice's end ("bp":"e") makes
+            // Perfetto draw the arrow span-to-span.
+            out.push_str(",\"cat\":\"flow\",\"id\":");
+            jsonw::uint(&mut out, ev.id);
+            if ev.ph == 'f' {
+                out.push_str(",\"bp\":\"e\"");
+            }
         } else {
             // Thread-scoped instant: renders as a marker on the row.
             out.push_str(",\"s\":\"t\"");
@@ -81,6 +97,7 @@ mod tests {
                 pid: 0,
                 tid: 7,
                 packet: (1 << 48) | 7,
+                id: 0,
             },
             TraceEvent {
                 name: "drop:voq-overflow",
@@ -90,6 +107,7 @@ mod tests {
                 pid: 0,
                 tid: 9,
                 packet: 9,
+                id: 0,
             },
         ];
         let s = chrome_trace_json(&events);
@@ -102,6 +120,26 @@ mod tests {
         // Instant events carry no dur.
         let instant = &s[s.find("drop:voq-overflow").unwrap()..];
         assert!(!instant.contains("\"dur\""));
+    }
+
+    #[test]
+    fn flow_arrows_pair_by_id() {
+        let arrow = |ph| TraceEvent {
+            name: "flow",
+            ph,
+            ts_us: 5.0,
+            dur_us: 0.0,
+            pid: 3,
+            tid: 11,
+            packet: 11,
+            id: 11,
+        };
+        let s = chrome_trace_json(&[arrow('s'), arrow('f')]);
+        assert!(s.contains("\"ph\":\"s\",\"ts\":5,\"cat\":\"flow\",\"id\":11"));
+        assert!(s.contains("\"ph\":\"f\",\"ts\":5,\"cat\":\"flow\",\"id\":11,\"bp\":\"e\""));
+        // Flow phases carry neither dur nor the instant scope marker.
+        assert!(!s.contains("\"dur\""));
+        assert!(!s.contains("\"s\":\"t\""));
     }
 
     #[test]

@@ -3,6 +3,7 @@
 //! ```text
 //! topo [--spec NAME] [--quick] [--workers N] [--sim-threads N]
 //!      [--seed S] [--out PATH | --no-out] [--csv] [--dry-run]
+//!      [--telemetry-out PATH] [--trace-out PATH]
 //! topo --list
 //! topo --check PATH
 //! ```
@@ -29,12 +30,15 @@ struct Cli {
     list: bool,
     dry_run: bool,
     check: Option<PathBuf>,
+    telemetry_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: topo [--spec NAME] [--quick] [--workers N] [--sim-threads N]\n\
          \x20           [--seed S] [--out PATH | --no-out] [--csv] [--dry-run]\n\
+         \x20           [--telemetry-out PATH] [--trace-out PATH]\n\
          \x20      topo --list\n\
          \x20      topo --check PATH\n\
          \n\
@@ -45,6 +49,14 @@ fn usage() -> ! {
          \x20            serial kernel; N > 1 runs the conservative\n\
          \x20            parallel engine; artifacts are byte-identical\n\
          \x20            at every value)\n\
+         --telemetry-out  write the merged dra-topo-telemetry/v1\n\
+         \x20            network-scope snapshot (per-router counters,\n\
+         \x20            fault forensics, sampled flow spans, PDES\n\
+         \x20            profile) to PATH; needs a binary built with\n\
+         \x20            `--features telemetry`\n\
+         --trace-out  write the sampled packets' multi-hop flow trace\n\
+         \x20         as Chrome trace_event JSON to PATH (open at\n\
+         \x20         https://ui.perfetto.dev); same feature gate\n\
          --dry-run   print the expanded grid (cells, axes, totals)\n\
          \x20         and exit without simulating\n\
          --check     validate an existing artifact (format, ordering,\n\
@@ -66,6 +78,8 @@ fn parse_cli() -> Cli {
         list: false,
         dry_run: false,
         check: None,
+        telemetry_out: None,
+        trace_out: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -91,12 +105,27 @@ fn parse_cli() -> Cli {
             "--list" => cli.list = true,
             "--dry-run" => cli.dry_run = true,
             "--check" => cli.check = Some(PathBuf::from(value("--check"))),
+            "--telemetry-out" => cli.telemetry_out = Some(PathBuf::from(value("--telemetry-out"))),
+            "--trace-out" => cli.trace_out = Some(PathBuf::from(value("--trace-out"))),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown argument {other:?}");
                 usage();
             }
         }
+    }
+    // Contradictory combinations are hard errors, not silent picks.
+    if cli.out.is_some() && cli.no_out {
+        eprintln!("--out and --no-out conflict");
+        usage();
+    }
+    if cli.list && cli.check.is_some() {
+        eprintln!("--list and --check conflict");
+        usage();
+    }
+    if cli.dry_run && (cli.telemetry_out.is_some() || cli.trace_out.is_some()) {
+        eprintln!("--dry-run simulates nothing, so --telemetry-out/--trace-out conflict with it");
+        usage();
     }
     cli
 }
@@ -243,6 +272,8 @@ fn main() -> ExitCode {
         sim_threads: cli.sim_threads,
         out,
         quiet: false,
+        telemetry_out: cli.telemetry_out.clone(),
+        trace_out: cli.trace_out.clone(),
     };
     let outcome = match engine::run(&spec, &opts) {
         Ok(o) => o,

@@ -49,6 +49,15 @@ pub struct TopoRunOptions {
     pub out: Option<PathBuf>,
     /// Suppress progress output.
     pub quiet: bool,
+    /// Write the merged `dra-topo-telemetry/v1` network-scope snapshot
+    /// here (requires the `telemetry` cargo feature; collection turns
+    /// on iff this or `trace_out` is set). The snapshot's
+    /// `deterministic` section is byte-identical at any
+    /// `sim_threads`/`workers`; only its `profile` section is not.
+    pub telemetry_out: Option<PathBuf>,
+    /// Write the Chrome `trace_event` flow trace of the sampled
+    /// packets here (requires the `telemetry` cargo feature).
+    pub trace_out: Option<PathBuf>,
 }
 
 /// Result of a sweep.
@@ -67,6 +76,15 @@ pub struct TopoOutcome {
 /// Execute a topo sweep and assemble its artifact.
 pub fn run(spec: &TopoSpec, opts: &TopoRunOptions) -> std::io::Result<TopoOutcome> {
     spec.validate();
+    let collect = opts.telemetry_out.is_some() || opts.trace_out.is_some();
+    #[cfg(not(feature = "telemetry"))]
+    if collect {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::Unsupported,
+            "telemetry output requested, but dra-topo was built without the `telemetry` \
+             cargo feature (rebuild with `--features telemetry`)",
+        ));
+    }
     let digest = spec.digest();
     let pool = match opts.workers {
         Some(w) => WorkerPool::new(w),
@@ -84,14 +102,28 @@ pub fn run(spec: &TopoSpec, opts: &TopoRunOptions) -> std::io::Result<TopoOutcom
     let sim_threads = opts.sim_threads.unwrap_or(1);
     let results = pool.try_map(indices.clone(), {
         let spec = spec.clone();
-        move |i: &usize| (*i, run_cell(&spec, *i, sim_threads))
+        move |i: &usize| (*i, run_cell(&spec, *i, sim_threads, collect))
     });
     let mut done: BTreeMap<u64, Json> = BTreeMap::new();
+    // Per-cell telemetry, keyed by cell index: folding in index order
+    // makes the merged snapshot worker-count invariant.
+    #[cfg(feature = "telemetry")]
+    let mut teles: BTreeMap<
+        u64,
+        Box<(
+            dra_telemetry::NetScopeSnapshot,
+            Vec<dra_telemetry::TraceEvent>,
+        )>,
+    > = BTreeMap::new();
     let mut failed = 0;
     for res in results {
         match res {
-            Ok((i, cell)) => {
+            Ok((i, (cell, _tele))) => {
                 done.insert(i as u64, cell);
+                #[cfg(feature = "telemetry")]
+                if let Some(t) = _tele {
+                    teles.insert(i as u64, t);
+                }
             }
             Err(p) => {
                 // Key the error by the *cell index* the panicked item
@@ -124,6 +156,44 @@ pub fn run(spec: &TopoSpec, opts: &TopoRunOptions) -> std::io::Result<TopoOutcom
         write_atomic(path, &text)?;
         if !opts.quiet {
             println!("wrote {} ({} bytes)", path.display(), text.len());
+        }
+    }
+    #[cfg(feature = "telemetry")]
+    if collect {
+        let mut snap: Option<dra_telemetry::NetScopeSnapshot> = None;
+        let mut trace: Vec<dra_telemetry::TraceEvent> = Vec::new();
+        for boxed in teles.into_values() {
+            let (s, t) = *boxed;
+            match &mut snap {
+                None => snap = Some(s),
+                Some(acc) => acc.merge(&s),
+            }
+            trace.extend(t);
+        }
+        if let Some(path) = &opts.telemetry_out {
+            let text = snap
+                .as_ref()
+                .map(dra_telemetry::NetScopeSnapshot::to_json_string)
+                .unwrap_or_else(|| dra_telemetry::NetScopeSnapshot::default().to_json_string());
+            write_atomic(path, &text)?;
+            if !opts.quiet {
+                println!(
+                    "wrote telemetry snapshot {} ({} bytes)",
+                    path.display(),
+                    text.len()
+                );
+            }
+        }
+        if let Some(path) = &opts.trace_out {
+            let text = dra_telemetry::chrome_trace_json(&trace);
+            write_atomic(path, &text)?;
+            if !opts.quiet {
+                println!(
+                    "wrote flow trace {} ({} events)",
+                    path.display(),
+                    trace.len()
+                );
+            }
         }
     }
     Ok(TopoOutcome {
@@ -241,8 +311,29 @@ pub fn build_network(cell: &TopoCellSpec, master_seed: u64, replication: u32) ->
     net
 }
 
-/// Run every replication of one cell and reduce to its JSON record.
-fn run_cell(spec: &TopoSpec, index: usize, sim_threads: usize) -> Json {
+/// Network-scope sampling density for CLI-driven collection: every
+/// 64th packet gets hop-resolved flow spans (counters, forensics, and
+/// the profiler are unsampled — they see everything).
+#[cfg(feature = "telemetry")]
+const TELEMETRY_SAMPLE_EVERY: u64 = 64;
+
+/// One cell's collected telemetry: the merged snapshot of its
+/// replications plus their concatenated flow-trace events.
+#[cfg(feature = "telemetry")]
+type CellTele = Option<
+    Box<(
+        dra_telemetry::NetScopeSnapshot,
+        Vec<dra_telemetry::TraceEvent>,
+    )>,
+>;
+#[cfg(not(feature = "telemetry"))]
+type CellTele = ();
+
+/// Run every replication of one cell and reduce to its JSON record
+/// (plus, when `collect` is set, its telemetry).
+fn run_cell(spec: &TopoSpec, index: usize, sim_threads: usize, collect: bool) -> (Json, CellTele) {
+    #[cfg(not(feature = "telemetry"))]
+    let _ = collect;
     let cell = &spec.cells[index];
     let mut injected = 0u64;
     let mut delivered = 0u64;
@@ -253,9 +344,25 @@ fn run_cell(spec: &TopoSpec, index: usize, sim_threads: usize) -> Json {
     let mut latency = Welford::new();
     let mut hops = Welford::new();
     let (mut n_nodes, mut n_links) = (0, 0);
+    #[cfg(feature = "telemetry")]
+    let mut cell_tele: CellTele = None;
     for rep in 0..cell.replications {
         let mut net = build_network(cell, spec.master_seed, rep);
         net.cfg.sim_threads = sim_threads;
+        #[cfg(feature = "telemetry")]
+        if collect {
+            // The hub (flight-recorder ring + anomaly freeze) is
+            // thread-local: arm it on whichever pool worker runs this
+            // cell. Telemetry observes without steering, so the
+            // artifact bytes do not change.
+            if !dra_telemetry::enabled() {
+                dra_telemetry::enable(dra_telemetry::Config {
+                    sample_every: TELEMETRY_SAMPLE_EVERY,
+                    ..dra_telemetry::Config::default()
+                });
+            }
+            net.enable_net_telemetry(TELEMETRY_SAMPLE_EVERY);
+        }
         n_nodes = net.topo.n_nodes();
         n_links = net.topo.n_links();
         let sim_seed = derive_seed(
@@ -279,8 +386,29 @@ fn run_cell(spec: &TopoSpec, index: usize, sim_threads: usize) -> Json {
             latency.push(s.latency.mean());
             hops.push(s.hops.mean());
         }
+        #[cfg(feature = "telemetry")]
+        if collect {
+            // Distinct Perfetto pid/arrow namespaces per (cell, rep):
+            // pure functions of the indices, so the merged trace is
+            // worker- and sim-thread-invariant.
+            let mut net = net;
+            let report = net
+                .export_net_telemetry(
+                    cell.horizon_s,
+                    (index as u32) * 4096,
+                    ((index as u64 * 1024) + rep as u64) << 40,
+                )
+                .expect("collector was enabled above");
+            match &mut cell_tele {
+                None => cell_tele = Some(Box::new((report.snapshot, report.trace))),
+                Some(acc) => {
+                    acc.0.merge(&report.snapshot);
+                    acc.1.extend(report.trace);
+                }
+            }
+        }
     }
-    Json::obj(vec![
+    let record = Json::obj(vec![
         ("cell", Json::Num(index as f64)),
         ("id", Json::Str(cell.id.clone())),
         ("arch", Json::Str(cell.arch.label().into())),
@@ -304,7 +432,11 @@ fn run_cell(spec: &TopoSpec, index: usize, sim_threads: usize) -> Json {
         ("flow_availability", welford_json(&flow_avail)),
         ("latency_s", welford_json(&latency)),
         ("hops", welford_json(&hops)),
-    ])
+    ]);
+    #[cfg(feature = "telemetry")]
+    return (record, cell_tele);
+    #[cfg(not(feature = "telemetry"))]
+    (record, ())
 }
 
 fn welford_json(w: &Welford) -> Json {
@@ -465,6 +597,7 @@ mod tests {
                     sim_threads: None,
                     out: None,
                     quiet: true,
+                    ..Default::default()
                 },
             )
             .unwrap()
@@ -487,6 +620,7 @@ mod tests {
                 sim_threads: None,
                 out: None,
                 quiet: true,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -525,6 +659,7 @@ mod tests {
                     sim_threads: None,
                     out: None,
                     quiet: true,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -558,6 +693,7 @@ mod tests {
                     sim_threads: Some(t),
                     out: None,
                     quiet: true,
+                    ..Default::default()
                 },
             )
             .unwrap()

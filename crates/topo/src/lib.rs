@@ -29,6 +29,11 @@
 //! * [`spec`] / [`engine`] / [`registry`] — declarative sweeps over
 //!   topology × faults × architecture, executed on the campaign worker
 //!   pool into byte-reproducible `dra-topo/v1` artifacts.
+//! * [`telemetry`] (feature `telemetry`) — network-scope
+//!   observability: per-router counters, hop-resolved flow spans with
+//!   Perfetto export, the fault-forensics ledger, and the PDES engine
+//!   profiler, exported as a `dra-topo-telemetry/v1` snapshot whose
+//!   deterministic section is byte-identical at any `sim_threads`.
 //!
 //! See `examples/network_resilience.rs` and the `topo` CLI
 //! (`cargo run --release -p dra-topo --bin topo -- --help`).
@@ -45,6 +50,8 @@ pub mod routes;
 pub mod seeds;
 pub mod spec;
 pub mod stats;
+#[cfg(feature = "telemetry")]
+pub mod telemetry;
 pub mod topology;
 
 pub use engine::{build_network, run, TopoOutcome, TopoRunOptions};

@@ -295,6 +295,16 @@ struct NodeLp {
     chain_store: Vec<f64>,
     drops: [u64; 8],
     deliveries: Vec<Delivery>,
+    /// Per-LP telemetry collector (counters, sampled spans, sampled
+    /// delivered chains), folded into the network-scope collector in
+    /// LP-id order after the run. `None` whenever collection is off,
+    /// so the hot path pays one branch per event and nothing else.
+    #[cfg(feature = "telemetry")]
+    tele: Option<Box<crate::telemetry::LpTele>>,
+    /// Events processed, read by the engine profiler via
+    /// [`LogicalProcess::events_processed`].
+    #[cfg(feature = "telemetry")]
+    events: u64,
 }
 
 impl NodeLp {
@@ -364,6 +374,10 @@ impl LogicalProcess for NodeLp {
                 });
             }
             for (_seq, event) in batch.drain(..) {
+                #[cfg(feature = "telemetry")]
+                {
+                    self.events += 1;
+                }
                 match event {
                     LpEvent::Transit {
                         mut pkt,
@@ -380,6 +394,18 @@ impl LogicalProcess for NodeLp {
                             &mut pkt,
                             in_port,
                         );
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = self.tele.as_deref_mut() {
+                            let node_transit_s = self.cfg.node_transit_s;
+                            t.col.transit_outcome(
+                                &mut t.nc,
+                                now,
+                                self.node,
+                                &pkt,
+                                &outcome,
+                                node_transit_s,
+                            );
+                        }
                         match outcome {
                             HopOutcome::Drop(cause) => self.drops[cause.index()] += 1,
                             HopOutcome::Deliver { delay_s } => {
@@ -409,6 +435,11 @@ impl LogicalProcess for NodeLp {
                             now,
                             self.cfg.packet_bytes,
                         );
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = self.tele.as_deref_mut() {
+                            t.col
+                                .forward_outcome(&mut t.nc, now, self.node, out_port, &pkt, &offer);
+                        }
                         match offer {
                             LinkOffer::Down => self.drops[NetDropCause::LinkDown.index()] += 1,
                             LinkOffer::Congested => {
@@ -447,6 +478,19 @@ impl LogicalProcess for NodeLp {
                             flow: pkt.flow,
                             hops: pkt.hops,
                         });
+                        #[cfg(feature = "telemetry")]
+                        if let Some(t) = self.tele.as_deref_mut() {
+                            t.col.delivered(&mut t.nc, now, self.node, &pkt);
+                            if t.col.is_sampled(pkt.id) {
+                                // Keep the materialized chain for the
+                                // span-vs-provenance cross-check; the
+                                // delivery's own copy is consumed by
+                                // the stats replay.
+                                let lo = chain_off as usize;
+                                let hi = lo + chain_len as usize;
+                                t.chains.push((pkt.id, self.chain_store[lo..hi].to_vec()));
+                            }
+                        }
                     }
                     LpEvent::Act(act) => match act {
                         LocalAct::Router(action) => {
@@ -489,6 +533,11 @@ impl LogicalProcess for NodeLp {
             },
         );
     }
+
+    #[cfg(feature = "telemetry")]
+    fn events_processed(&self) -> u64 {
+        self.events
+    }
 }
 
 /// Run `net` to `horizon` on `net.cfg.sim_threads` threads and return
@@ -513,7 +562,15 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
         cfg,
         stats: _,
         next_pkt_id: _,
+        #[cfg(feature = "telemetry")]
+        tele,
     } = net;
+    // Per-LP sampling density for the collectors installed below;
+    // `None` keeps every hot-path hook a single never-taken branch.
+    #[cfg(feature = "telemetry")]
+    let mut tele = tele;
+    #[cfg(feature = "telemetry")]
+    let lp_sample: Option<u64> = tele.as_ref().map(|t| t.sample_every());
     // Adaptive conservative lookahead: the minimum latency over the
     // links actually attached (uniform configs reproduce the old
     // global `link.latency_s` window exactly; heterogeneous ones get
@@ -563,6 +620,10 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
             deliveries: Vec::new(),
             staged: Vec::with_capacity(staged_counts[n]),
             next_staged: 0,
+            #[cfg(feature = "telemetry")]
+            tele: lp_sample.map(|s| Box::new(crate::telemetry::LpTele::new(s))),
+            #[cfg(feature = "telemetry")]
+            events: 0,
         })
         .collect();
 
@@ -604,7 +665,56 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
             .sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
     }
 
+    #[cfg(not(feature = "telemetry"))]
     let _report: WindowReport = run_windows(&mut lps, lookahead, horizon, threads);
+    // With a collector installed, run the profiled variant (identical
+    // simulation result — see `run_windows_profiled`) and fold the
+    // engine profile plus the per-LP conservative-lookahead
+    // distribution into the non-deterministic `profile` section.
+    #[cfg(feature = "telemetry")]
+    match tele.as_deref_mut() {
+        None => {
+            let _report: WindowReport = run_windows(&mut lps, lookahead, horizon, threads);
+        }
+        Some(t) => {
+            let mut prof = dra_des::pdes::PdesProfile::default();
+            let _report: WindowReport = dra_des::pdes::run_windows_profiled(
+                &mut lps, lookahead, horizon, threads, &mut prof,
+            );
+            let mut ep = dra_telemetry::netscope::EngineProfile {
+                runs: 1,
+                threads: prof.threads as u64,
+                windows: prof.windows,
+                cross_messages: prof.cross_messages,
+                wall_ns: prof.wall_ns,
+                barrier_wait_ns: prof.barrier_wait_ns,
+                nonempty_windows: prof.nonempty_windows,
+                window_max_events_sum: prof.window_max_events_sum,
+                lp_events: prof.lp_events,
+                lp_busy_windows: prof.lp_busy_windows,
+                ..Default::default()
+            };
+            for lp in &lps {
+                // Each LP's own conservative bound: the minimum
+                // latency over its attached outgoing links.
+                let la = lp
+                    .links
+                    .iter()
+                    .map(|l| l.latency_s)
+                    .fold(f64::INFINITY, f64::min);
+                let la = if la.is_finite() {
+                    la
+                } else {
+                    cfg.link.latency_s
+                };
+                ep.lookahead_min_s = ep.lookahead_min_s.min(la);
+                ep.lookahead_max_s = ep.lookahead_max_s.max(la);
+                ep.lookahead_sum_s += la;
+                ep.lookahead_lps += 1;
+            }
+            t.profile = Some(ep);
+        }
+    }
 
     // Reassemble: counters sum, moments replay in delivery-time order,
     // the conservation ledger recomputes in-flight.
@@ -628,6 +738,14 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
     // Pre-sized merge: one exact allocation, filled in node order.
     let mut deliveries: Vec<(u32, Delivery)> = Vec::with_capacity(total_deliveries);
     for (i, lp) in lps.into_iter().enumerate() {
+        #[cfg(feature = "telemetry")]
+        if let Some(lpt) = lp.tele {
+            if let Some(t) = tele.as_deref_mut() {
+                // LP-id order makes the fold order thread-invariant;
+                // the export re-sorts every record canonically anyway.
+                t.fold_lp(i, *lpt);
+            }
+        }
         for (acc, d) in stats.drops.iter_mut().zip(lp.drops) {
             *acc += d;
         }
@@ -673,6 +791,8 @@ pub(crate) fn run_parallel(net: NetworkSim, seed: u64, horizon: f64) -> NetworkS
         cfg,
         stats,
         next_pkt_id,
+        #[cfg(feature = "telemetry")]
+        tele,
     }
 }
 

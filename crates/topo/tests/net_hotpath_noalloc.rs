@@ -150,4 +150,68 @@ fn steady_state_network_simulation_is_allocation_free() {
         "parallel hot path allocated {extra_allocs} extra times over {extra_hops} extra hops \
          (short run: {short_allocs} allocs / {short_hops} hops)"
     );
+
+    // --- Telemetry compiled + hub armed + collector on, sampling off:
+    // the hot path still never allocates. (With the feature compiled
+    // but everything disabled, the sections above already measured the
+    // one-branch-per-hop configuration.) Counters increment in place,
+    // ring events overwrite a preallocated buffer, and outcome points
+    // land in storage reserved at enable time; per-packet span
+    // collection is the only sampled (and allocating) part, and
+    // sampling 0 turns it off.
+    #[cfg(feature = "telemetry")]
+    {
+        dra_telemetry::enable(dra_telemetry::Config {
+            sample_every: 0,
+            ..dra_telemetry::Config::default()
+        });
+
+        // Serial kernel, direct warmup-then-measure.
+        let mut net = mesh_net(1, 40e-3);
+        net.enable_net_telemetry(0);
+        let mut sim = net.simulation(7);
+        sim.run_until(5e-3);
+        let events_before = sim.events_processed();
+        let before = ALLOCATIONS.load(Ordering::Relaxed);
+        sim.run_until(35e-3);
+        let tele_allocs = ALLOCATIONS.load(Ordering::Relaxed) - before;
+        let tele_events = sim.events_processed() - events_before;
+        assert!(
+            tele_events > 50_000,
+            "telemetry serial window too small ({tele_events} events)"
+        );
+        assert!(
+            (tele_allocs as f64) < (tele_events as f64) / 10_000.0,
+            "serial hot path with telemetry enabled allocated {tele_allocs} times \
+             over {tele_events} events"
+        );
+
+        // Parallel engine (profiled run included), run-length diff.
+        let run_tele = |horizon: f64| {
+            let mut net = mesh_net(2, horizon - 5e-3);
+            net.enable_net_telemetry(0);
+            let before = ALLOCATIONS.load(Ordering::Relaxed);
+            let done = net.run(7, horizon);
+            (
+                ALLOCATIONS.load(Ordering::Relaxed) - before,
+                total_hops(&done),
+            )
+        };
+        run_tele(short_horizon); // warmup, unmeasured
+        let (short_allocs, short_hops) = run_tele(short_horizon);
+        let (long_allocs, long_hops) = run_tele(long_horizon);
+        let extra_hops = long_hops - short_hops;
+        assert!(
+            extra_hops > 10_000.0,
+            "telemetry parallel window too small ({extra_hops} extra hops)"
+        );
+        let extra_allocs = long_allocs.saturating_sub(short_allocs);
+        assert!(
+            (extra_allocs as f64) < extra_hops / 100.0,
+            "parallel hot path with telemetry enabled allocated {extra_allocs} extra times \
+             over {extra_hops} extra hops \
+             (short run: {short_allocs} allocs / {short_hops} hops)"
+        );
+        dra_telemetry::disable();
+    }
 }

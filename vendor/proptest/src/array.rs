@@ -1,0 +1,55 @@
+//! `proptest::array` — fixed-size arrays of strategy-generated items.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `[S::Value; N]`, each element drawn
+/// independently from the same element strategy.
+#[derive(Debug, Clone)]
+pub struct UniformArrayStrategy<S, const N: usize> {
+    element: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for UniformArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.element.generate(rng))
+    }
+}
+
+macro_rules! uniform_fn {
+    ($($name:ident => $n:literal),+ $(,)?) => {$(
+        /// Array of the given arity, every element from `element`
+        /// (mirrors the upstream function of the same name).
+        pub fn $name<S: Strategy>(element: S) -> UniformArrayStrategy<S, $n> {
+            UniformArrayStrategy { element }
+        }
+    )+};
+}
+
+uniform_fn!(
+    uniform1 => 1,
+    uniform2 => 2,
+    uniform3 => 3,
+    uniform4 => 4,
+    uniform8 => 8,
+    uniform16 => 16,
+    uniform32 => 32,
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn arrays_have_the_right_arity_and_range() {
+        let s = uniform8(0u64..50);
+        let mut rng = TestRng::from_seed(7);
+        for _ in 0..50 {
+            let a = s.generate(&mut rng);
+            assert_eq!(a.len(), 8);
+            assert!(a.iter().all(|&v| v < 50));
+        }
+    }
+}

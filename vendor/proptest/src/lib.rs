@@ -7,7 +7,8 @@
 //!   [`prop_assert_eq!`], [`prop_assert_ne!`], and [`prop_assume!`]
 //!   macros;
 //! * [`strategy::Strategy`] with `prop_map`, implemented for numeric
-//!   ranges, tuples, and [`collection::vec`];
+//!   ranges, tuples, [`collection::vec`], [`array`] arrays, and
+//!   [`option::of`];
 //! * [`arbitrary::any`] for the primitive types the tests draw;
 //! * a deterministic runner ([`test_runner::TestRng`]) seeded from the
 //!   test's name, so every CI run explores the same cases.
@@ -18,7 +19,9 @@
 //! value trees.
 
 pub mod arbitrary;
+pub mod array;
 pub mod collection;
+pub mod option;
 pub mod strategy;
 pub mod test_runner;
 

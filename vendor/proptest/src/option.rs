@@ -1,0 +1,57 @@
+//! `proptest::option` — `Option<T>` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Option<S::Value>`: `None` with the configured
+/// probability, else `Some` of the inner strategy's draw.
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+    none_prob: f64,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.next_f64() < self.none_prob {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+/// `Option` of `inner`, `None` one time in four (upstream's default
+/// weights `Some` 3:1 over `None`).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy {
+        inner,
+        none_prob: 0.25,
+    }
+}
+
+/// `Option` of `inner` with an explicit `Some` probability.
+pub fn weighted<S: Strategy>(some_prob: f64, inner: S) -> OptionStrategy<S> {
+    assert!((0.0..=1.0).contains(&some_prob), "probability out of range");
+    OptionStrategy {
+        inner,
+        none_prob: 1.0 - some_prob,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn of_mixes_none_and_some() {
+        let s = of(0u32..10);
+        let mut rng = TestRng::from_seed(3);
+        let draws: Vec<_> = (0..200).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+        assert!(draws.iter().flatten().all(|&v| v < 10));
+    }
+}

@@ -146,6 +146,10 @@ impl_tuple_strategy!(
     (A, B, C, D),
     (A, B, C, D, E),
     (A, B, C, D, E, F),
+    (A, B, C, D, E, F, G),
+    (A, B, C, D, E, F, G, H),
+    (A, B, C, D, E, F, G, H, I),
+    (A, B, C, D, E, F, G, H, I, J),
 );
 
 #[cfg(test)]
